@@ -1,0 +1,68 @@
+// Command oscar-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	oscar-bench                  # run every experiment (quick scale)
+//	oscar-bench -run table2,fig4 # run selected experiments
+//	oscar-bench -full            # paper-scale instance counts (slow)
+//	oscar-bench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		full    = flag.Bool("full", false, "paper-scale instance counts (slow)")
+		seed    = flag.Int64("seed", 2023, "random seed")
+		workers = flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, Quick: !*full}
+	reg := experiments.Registry()
+
+	var ids []string
+	if *run == "" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := reg[id]; !ok {
+				fmt.Fprintf(os.Stderr, "oscar-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		table, err := reg[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oscar-bench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(table.Format())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

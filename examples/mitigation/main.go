@@ -1,0 +1,124 @@
+// Mitigation: use OSCAR to benchmark and configure Zero-Noise Extrapolation
+// (the paper's Section 6 use case). Comparing mitigation configurations
+// normally costs a full landscape per configuration; with OSCAR each costs
+// 10% of that, and the reconstructions preserve exactly the features —
+// roughness, flatness, variance — that decide which configuration to deploy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	oscar "repro"
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/landscape"
+	"repro/internal/mitigation"
+	"repro/internal/noise"
+)
+
+// shotZNE adapts the analytic evaluator to ZNE's noise scaling with
+// finite-shot statistics (1024 shots per expectation).
+type shotZNE struct {
+	prob  *oscar.Problem
+	base  noise.Profile
+	cache map[float64]*backend.AnalyticQAOA
+	rng   *rand.Rand
+	sigma float64
+}
+
+func (s *shotZNE) NumParams() int { return 2 }
+
+func (s *shotZNE) EvaluateScaled(params []float64, c float64) (float64, error) {
+	ev, ok := s.cache[c]
+	if !ok {
+		var err error
+		ev, err = backend.NewAnalyticQAOA(s.prob, s.base.Scaled(c))
+		if err != nil {
+			return 0, err
+		}
+		s.cache[c] = ev
+	}
+	v, err := ev.Evaluate(params)
+	if err != nil {
+		return 0, err
+	}
+	return v + s.sigma*s.rng.NormFloat64(), nil
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	prob, err := oscar.Random3RegularMaxCut(16, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := noise.Fig9() // 1q 0.1%, 2q 2% — the paper's Figure 9 device
+	sc := &shotZNE{
+		prob:  prob,
+		base:  base,
+		cache: map[float64]*backend.AnalyticQAOA{},
+		rng:   rand.New(rand.NewSource(5)),
+		sigma: backend.ShotSpread(prob.Hamiltonian) / 32, // 1024 shots
+	}
+
+	richardson, err := mitigation.NewZNE(sc, []float64{1, 2, 3}, mitigation.Richardson)
+	if err != nil {
+		log.Fatal(err)
+	}
+	linear, err := mitigation.NewZNE(sc, []float64{1, 3}, mitigation.Linear)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ampR, _ := mitigation.VarianceAmplification([]float64{1, 2, 3}, mitigation.Richardson)
+	ampL, _ := mitigation.VarianceAmplification([]float64{1, 3}, mitigation.Linear)
+	fmt.Printf("shot-variance amplification: richardson %.1fx, linear %.1fx\n", ampR, ampL)
+
+	grid, err := oscar.QAOAGrid(1, 24, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []struct {
+		name string
+		eval landscape.EvalFunc
+	}{
+		{"unmitigated", func(p []float64) (float64, error) { return sc.EvaluateScaled(p, 1) }},
+		{"zne-richardson{1,2,3}", richardson.Evaluate},
+		{"zne-linear{1,3}", linear.Evaluate},
+	}
+	fmt.Printf("\n%-22s %12s %12s %12s %8s\n", "configuration", "roughness D2", "VoG", "variance", "NRMSE")
+	for _, cfgCase := range configs {
+		full, err := landscape.Generate(grid, cfgCase.eval, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// OSCAR: reconstruct the same landscape from 10% of its points.
+		idx, err := core.SampleGrid(grid, 0.10, 3, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vals := make([]float64, len(idx))
+		for j, i := range idx {
+			vals[j] = full.Data[i]
+		}
+		recon, _, err := core.ReconstructFromSamples(grid, idx, vals, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nr, err := landscape.NRMSE(full.Data, recon.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %12.2f %12.4f %12.3f %8.3f\n",
+			cfgCase.name,
+			landscape.SecondDerivative(recon),
+			landscape.VarianceOfGradient(recon),
+			landscape.Variance(recon),
+			nr)
+	}
+	fmt.Println("\nreading the reconstructions: Richardson amplifies the gradient (higher")
+	fmt.Println("variance) but adds heavy jaggedness (D2) that hurts gradient-based")
+	fmt.Println("optimizers; linear extrapolation is smoother — pick it for ADAM-style")
+	fmt.Println("training, or pair Richardson with a gradient-free optimizer.")
+}

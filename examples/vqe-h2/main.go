@@ -1,0 +1,76 @@
+// VQE on H2: a chemistry workload end to end. Reconstruct the UCCSD energy
+// landscape of the hydrogen molecule with OSCAR, pick the initial point from
+// the reconstruction, and converge a VQE run to the exact ground-state
+// energy (-1.857275 Ha) — the Table 3 configuration turned into a working
+// ground-state solver.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	oscar "repro"
+	"repro/internal/backend"
+	"repro/internal/optimizer"
+)
+
+func main() {
+	h2 := oscar.H2()
+	ans, err := oscar.UCCSDH2Ansatz()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := oscar.NewStateVector(h2, ans)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("H2 (STO-3G, 2 qubits), UCCSD ansatz with %d parameters\n", ans.NumParams)
+
+	// The dominant parameter is the double excitation (parameter 2).
+	// Reconstruct the (single-1, double) slice with OSCAR at the paper's
+	// 50-samples-per-dimension Table 3 configuration.
+	grid, err := oscar.NewGrid(
+		oscar.Axis{Name: "single-1", Min: -1.5, Max: 1.5, N: 50},
+		oscar.Axis{Name: "double", Min: -1.5, Max: 1.5, N: 50},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slice := func(p []float64) (float64, error) {
+		return dev.Evaluate([]float64{p[0], 0, p[1]})
+	}
+	recon, stats, err := oscar.Reconstruct(grid, slice, oscar.Options{
+		SamplingFraction: 0.3, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := oscar.GenerateDense(grid, slice, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nr, _ := oscar.NRMSE(truth, recon)
+	fmt.Printf("landscape: %d of %d evaluations (%.1fx), NRMSE %.4f\n",
+		stats.Samples, stats.GridSize, stats.Speedup, nr)
+
+	// Initial point: the reconstruction's minimum.
+	minV, minIdx := recon.Min()
+	pt := grid.Point(minIdx)
+	fmt.Printf("reconstructed minimum %.6f Ha at (s1=%.3f, d=%.3f)\n", minV, pt[0], pt[1])
+
+	// Full 3-parameter VQE from the OSCAR initial point.
+	counted := backend.NewCounting(dev)
+	obj := func(x []float64) (float64, error) { return counted.Evaluate(x) }
+	res, err := optimizer.NelderMead(obj, []float64{pt[0], 0, pt[1]}, optimizer.NelderMeadOptions{
+		MaxIter: 400, Tol: 1e-10, Step: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const exact = -1.8572750302023797
+	fmt.Printf("VQE energy: %.9f Ha after %d circuit evaluations\n", res.F, counted.Count())
+	fmt.Printf("exact:      %.9f Ha (error %.2e Ha)\n", exact, res.F-exact)
+	if res.F-exact > 1e-6 {
+		fmt.Println("warning: VQE did not reach chemical precision")
+	}
+}

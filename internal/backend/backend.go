@@ -1,0 +1,315 @@
+// Package backend provides cost-function evaluators: the bridge between a
+// (problem, ansatz, noise profile, shot budget) configuration and the
+// scalar-valued cost function whose landscape OSCAR reconstructs. Evaluators
+// stand in for QPUs; the qpu package adds queuing/latency behavior on top.
+package backend
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/ansatz"
+	"repro/internal/noise"
+	"repro/internal/pauli"
+	"repro/internal/problem"
+	"repro/internal/qaoa"
+	"repro/internal/qsim"
+)
+
+// Evaluator computes the VQA cost at a parameter vector. Implementations
+// must be safe for concurrent use.
+type Evaluator interface {
+	// Name identifies the evaluator in experiment output.
+	Name() string
+	// NumParams reports the expected parameter arity.
+	NumParams() int
+	// Evaluate returns the cost <H> at params.
+	Evaluate(params []float64) (float64, error)
+}
+
+// StateVector is the exact (infinite-shot) ideal evaluator.
+type StateVector struct {
+	name string
+	prob *problem.Problem
+	ans  *ansatz.Ansatz
+}
+
+// NewStateVector builds an exact evaluator for an ansatz on a problem.
+func NewStateVector(p *problem.Problem, a *ansatz.Ansatz) (*StateVector, error) {
+	if p.N() != a.Circuit.N() {
+		return nil, fmt.Errorf("backend: %d-qubit ansatz for %d-qubit problem", a.Circuit.N(), p.N())
+	}
+	return &StateVector{
+		name: fmt.Sprintf("sv(%s,%s)", p.Name, a.Name),
+		prob: p,
+		ans:  a,
+	}, nil
+}
+
+// Name implements Evaluator.
+func (e *StateVector) Name() string { return e.name }
+
+// NumParams implements Evaluator.
+func (e *StateVector) NumParams() int { return e.ans.NumParams }
+
+// Evaluate implements Evaluator.
+func (e *StateVector) Evaluate(params []float64) (float64, error) {
+	s, err := qsim.Run(e.ans.Circuit, params)
+	if err != nil {
+		return 0, err
+	}
+	return s.Expectation(e.prob.Hamiltonian)
+}
+
+// Density is the exact noisy evaluator: density-matrix simulation with
+// per-gate depolarizing channels and readout error. Cost is 4^n, so it is
+// reserved for small problems (n <= 13); larger noisy landscapes use the
+// analytic damping model.
+type Density struct {
+	name    string
+	prob    *problem.Problem
+	ans     *ansatz.Ansatz
+	profile noise.Profile
+}
+
+// NewDensity builds an exact noisy evaluator.
+func NewDensity(p *problem.Problem, a *ansatz.Ansatz, prof noise.Profile) (*Density, error) {
+	if p.N() != a.Circuit.N() {
+		return nil, fmt.Errorf("backend: %d-qubit ansatz for %d-qubit problem", a.Circuit.N(), p.N())
+	}
+	if p.N() > 13 {
+		return nil, fmt.Errorf("backend: density-matrix evaluator limited to 13 qubits, got %d", p.N())
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &Density{
+		name:    fmt.Sprintf("dm(%s,%s,%s)", p.Name, a.Name, prof.Name),
+		prob:    p,
+		ans:     a,
+		profile: prof,
+	}, nil
+}
+
+// Name implements Evaluator.
+func (e *Density) Name() string { return e.name }
+
+// NumParams implements Evaluator.
+func (e *Density) NumParams() int { return e.ans.NumParams }
+
+// Profile returns the evaluator's noise profile.
+func (e *Density) Profile() noise.Profile { return e.profile }
+
+// Evaluate implements Evaluator.
+func (e *Density) Evaluate(params []float64) (float64, error) {
+	prof := e.profile
+	dm, err := qsim.RunDensity(e.ans.Circuit, params, func(d *qsim.DensityMatrix, g qsim.Gate) error {
+		switch len(g.Qubits) {
+		case 1:
+			return d.Depolarize1Q(g.Qubits[0], prof.P1)
+		case 2:
+			return d.Depolarize2Q(g.Qubits[0], g.Qubits[1], prof.P2)
+		default:
+			// Pauli rotations: depolarize every touched qubit.
+			for q := 0; q < g.Pauli.N(); q++ {
+				if g.Pauli.At(q) != pauli.I {
+					if err := d.Depolarize1Q(q, prof.P1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if prof.Readout01 == 0 && prof.Readout10 == 0 {
+		return dm.Expectation(e.prob.Hamiltonian)
+	}
+	if e.prob.Hamiltonian.IsDiagonal() {
+		probs, err := qsim.ApplyReadoutError(dm.Probabilities(), e.prob.N(), prof.Readout01, prof.Readout10)
+		if err != nil {
+			return 0, err
+		}
+		return qsim.ExpectationFromDistribution(e.prob.Hamiltonian, probs)
+	}
+	// Off-diagonal Hamiltonians: apply the standard per-qubit Z damping of
+	// the confusion matrix to each term's expectation.
+	ro := 1 - prof.Readout01 - prof.Readout10
+	var total float64
+	for _, t := range e.prob.Hamiltonian.Terms() {
+		v, err := dm.ExpectationPauli(t.P)
+		if err != nil {
+			return 0, err
+		}
+		total += t.Coeff * v * math.Pow(ro, float64(t.P.Weight()))
+	}
+	return total, nil
+}
+
+// AnalyticQAOA evaluates depth-1 QAOA cut costs through the closed-form
+// engine, optionally with analytic depolarizing damping. It makes the
+// paper's 16-30 qubit landscapes cheap.
+type AnalyticQAOA struct {
+	name   string
+	engine *qaoa.Engine
+	damp   []float64 // nil for ideal
+}
+
+// NewAnalyticQAOA builds the analytic evaluator for a cut problem. The
+// profile's depolarizing rates are folded into per-edge damping factors;
+// pass noise.Ideal() for exact ideal expectations.
+func NewAnalyticQAOA(p *problem.Problem, prof noise.Profile) (*AnalyticQAOA, error) {
+	if p.Graph == nil {
+		return nil, fmt.Errorf("backend: analytic evaluator needs a graph problem")
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	en, err := qaoa.NewEngine(p.Graph)
+	if err != nil {
+		return nil, err
+	}
+	var damp []float64
+	if !prof.IsIdeal() {
+		damp = noise.EdgeDampingFactors(p.Graph, prof)
+	}
+	return &AnalyticQAOA{
+		name:   fmt.Sprintf("analytic(%s,%s)", p.Name, prof.Name),
+		engine: en,
+		damp:   damp,
+	}, nil
+}
+
+// Name implements Evaluator.
+func (e *AnalyticQAOA) Name() string { return e.name }
+
+// NumParams implements Evaluator: depth-1 QAOA has (beta, gamma).
+func (e *AnalyticQAOA) NumParams() int { return 2 }
+
+// Evaluate implements Evaluator. params = [beta, gamma].
+func (e *AnalyticQAOA) Evaluate(params []float64) (float64, error) {
+	if len(params) < 2 {
+		return 0, fmt.Errorf("backend: analytic QAOA needs [beta, gamma], got %d params", len(params))
+	}
+	return e.engine.Cost(params[0], params[1], e.damp), nil
+}
+
+// WithShots wraps an evaluator with finite-shot sampling noise: Gaussian
+// noise with standard deviation spread/sqrt(shots), the leading-order
+// statistics of averaging `shots` measurement outcomes. spread should be the
+// per-shot standard deviation scale of the cost observable (callers can use
+// ShotSpread for Hamiltonians). Sampling is seeded and thread-safe.
+type WithShots struct {
+	inner  Evaluator
+	shots  int
+	spread float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewWithShots wraps inner with shot noise.
+func NewWithShots(inner Evaluator, shots int, spread float64, seed int64) (*WithShots, error) {
+	if shots <= 0 {
+		return nil, fmt.Errorf("backend: shots must be positive, got %d", shots)
+	}
+	if spread < 0 {
+		return nil, fmt.Errorf("backend: negative spread %g", spread)
+	}
+	return &WithShots{
+		inner:  inner,
+		shots:  shots,
+		spread: spread,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Name implements Evaluator.
+func (e *WithShots) Name() string { return fmt.Sprintf("%s@%dshots", e.inner.Name(), e.shots) }
+
+// NumParams implements Evaluator.
+func (e *WithShots) NumParams() int { return e.inner.NumParams() }
+
+// Evaluate implements Evaluator.
+func (e *WithShots) Evaluate(params []float64) (float64, error) {
+	v, err := e.inner.Evaluate(params)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	g := e.rng.NormFloat64()
+	e.mu.Unlock()
+	return v + g*e.spread/math.Sqrt(float64(e.shots)), nil
+}
+
+// ShotSpread estimates the per-shot standard deviation scale of a
+// Hamiltonian: the root-sum-square of non-identity coefficients, the
+// worst-case single-shot variance of a Pauli-sum estimate.
+func ShotSpread(h *pauli.Hamiltonian) float64 {
+	var s float64
+	for _, t := range h.Terms() {
+		if t.P.Weight() > 0 {
+			s += t.Coeff * t.Coeff
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Counting wraps an evaluator and counts queries — used to reproduce the
+// QPU-query accounting of Table 6.
+type Counting struct {
+	inner Evaluator
+	mu    sync.Mutex
+	n     int
+}
+
+// NewCounting wraps inner with a query counter.
+func NewCounting(inner Evaluator) *Counting { return &Counting{inner: inner} }
+
+// Name implements Evaluator.
+func (e *Counting) Name() string { return e.inner.Name() }
+
+// NumParams implements Evaluator.
+func (e *Counting) NumParams() int { return e.inner.NumParams() }
+
+// Evaluate implements Evaluator.
+func (e *Counting) Evaluate(params []float64) (float64, error) {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+	return e.inner.Evaluate(params)
+}
+
+// Count returns the number of Evaluate calls so far.
+func (e *Counting) Count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Reset zeroes the counter.
+func (e *Counting) Reset() {
+	e.mu.Lock()
+	e.n = 0
+	e.mu.Unlock()
+}
+
+// Func adapts a plain function into an Evaluator.
+type Func struct {
+	Label  string
+	Params int
+	F      func(params []float64) (float64, error)
+}
+
+// Name implements Evaluator.
+func (e *Func) Name() string { return e.Label }
+
+// NumParams implements Evaluator.
+func (e *Func) NumParams() int { return e.Params }
+
+// Evaluate implements Evaluator.
+func (e *Func) Evaluate(params []float64) (float64, error) { return e.F(params) }

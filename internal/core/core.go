@@ -1,0 +1,167 @@
+// Package core implements OSCAR — compressed-sensing based cost-landscape
+// reconstruction — the paper's primary contribution. The workflow has three
+// phases (Figure 3):
+//
+//  1. Parameter sampling: draw a small random subset of grid points.
+//  2. Circuit execution: evaluate the cost function at the sampled points
+//     (embarrassingly parallel; see package qpu for the multi-QPU fabric).
+//  3. Landscape reconstruction: recover the full grid by l1-minimization in
+//     the DCT domain (package cs).
+//
+// Depth-2 QAOA landscapes (4 parameter axes) are reconstructed through the
+// paper's concatenation reshape: the (b1,b2,g1,g2) grid is treated as a
+// (b1*b2)x(g1*g2) 2-D image, which is a pure re-labeling because flat grid
+// indices are row-major.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cs"
+	"repro/internal/landscape"
+)
+
+// Options configures a reconstruction run.
+type Options struct {
+	// SamplingFraction is the fraction of grid points to execute,
+	// e.g. 0.05 for the 20x saving of Figure 4. Required, in (0, 1].
+	SamplingFraction float64
+	// Seed drives parameter sampling. Runs are deterministic given a seed.
+	Seed int64
+	// Workers bounds parallel circuit execution (0 = GOMAXPROCS).
+	Workers int
+	// Solver configures the compressed-sensing solver; zero value means
+	// cs.DefaultOptions.
+	Solver cs.Options
+	// Stratified switches parameter sampling from uniform-random to
+	// jittered stratified sampling (ablation).
+	Stratified bool
+}
+
+// Stats reports what a reconstruction cost and how the solver behaved.
+type Stats struct {
+	// GridSize is the number of points a full grid search would run.
+	GridSize int
+	// Samples is the number of circuit evaluations actually executed.
+	Samples int
+	// Speedup is GridSize/Samples, the paper's headline saving.
+	Speedup float64
+	// SolverIterations, Residual and Sparsity are solver diagnostics.
+	SolverIterations int
+	Residual         float64
+	Sparsity         int
+	// Indices are the sampled flat grid indices (sorted).
+	Indices []int
+	// Values are the measured costs at Indices.
+	Values []float64
+}
+
+// shape2D maps a grid onto the 2-D shape the solver works with: a 2-D grid
+// passes through, and any even-dimensional grid is reshaped by the paper's
+// concatenation — the first half of the axes become rows, the second half
+// columns (for depth-p QAOA with [betas..., gammas...] parameter order this
+// groups all betas against all gammas, generalizing the paper's p=2
+// (12,12,15,15) -> (144,225) construction). Because flat indices are
+// row-major, the reshape is a pure re-labeling of the same data.
+func shape2D(g *landscape.Grid) (rows, cols int, err error) {
+	k := len(g.Axes)
+	if k < 2 || k%2 != 0 {
+		return 0, 0, fmt.Errorf("core: reconstruction needs an even number of axes >= 2, got %d", k)
+	}
+	rows, cols = 1, 1
+	for i, a := range g.Axes {
+		if i < k/2 {
+			rows *= a.N
+		} else {
+			cols *= a.N
+		}
+	}
+	return rows, cols, nil
+}
+
+func (o *Options) solverOptions() cs.Options {
+	s := o.Solver
+	if s == (cs.Options{}) {
+		s = cs.DefaultOptions()
+	}
+	return s
+}
+
+// Reconstruct runs the full OSCAR pipeline against a cost evaluator.
+func Reconstruct(g *landscape.Grid, eval landscape.EvalFunc, opt Options) (*landscape.Landscape, *Stats, error) {
+	if opt.SamplingFraction <= 0 || opt.SamplingFraction > 1 {
+		return nil, nil, fmt.Errorf("core: sampling fraction %g out of (0,1]", opt.SamplingFraction)
+	}
+	total := g.Size()
+	m := int(opt.SamplingFraction * float64(total))
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var (
+		idx []int
+		err error
+	)
+	if opt.Stratified {
+		idx, err = cs.StratifiedIndices(rng, total, m)
+	} else {
+		idx, err = cs.SampleIndices(rng, total, m)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	values, err := landscape.Sample(g, eval, idx, opt.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ReconstructFromSamples(g, idx, values, opt)
+}
+
+// ReconstructFromSamples runs only the reconstruction phase on
+// already-measured values — the entry point used by the multi-QPU executor,
+// eager reconstruction, and pre-collected hardware datasets.
+func ReconstructFromSamples(g *landscape.Grid, idx []int, values []float64, opt Options) (*landscape.Landscape, *Stats, error) {
+	if len(idx) == 0 {
+		return nil, nil, errors.New("core: no samples")
+	}
+	rows, cols, err := shape2D(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := cs.Reconstruct2D(rows, cols, idx, values, opt.solverOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &landscape.Landscape{Grid: g, Data: res.X}
+	st := &Stats{
+		GridSize:         g.Size(),
+		Samples:          len(idx),
+		Speedup:          float64(g.Size()) / float64(len(idx)),
+		SolverIterations: res.Iterations,
+		Residual:         res.Residual,
+		Sparsity:         res.Sparsity,
+		Indices:          idx,
+		Values:           values,
+	}
+	return l, st, nil
+}
+
+// SampleGrid draws the OSCAR sampling pattern without executing anything —
+// used by callers that schedule execution themselves (package qpu).
+func SampleGrid(g *landscape.Grid, fraction float64, seed int64, stratified bool) ([]int, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("core: sampling fraction %g out of (0,1]", fraction)
+	}
+	total := g.Size()
+	m := int(fraction * float64(total))
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if stratified {
+		return cs.StratifiedIndices(rng, total, m)
+	}
+	return cs.SampleIndices(rng, total, m)
+}

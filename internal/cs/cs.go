@@ -1,0 +1,501 @@
+// Package cs implements the compressed-sensing reconstruction at the heart
+// of OSCAR.
+//
+// A landscape X (row-major rows×cols grid) is assumed sparse in the 2-D DCT
+// domain: X = IDCT2(S) with S mostly zero. Given measurements y of X at a
+// small set of grid indices Ω (the measurement operator A s = subsample_Ω(
+// IDCT2(s))), the solver recovers S by l1-regularized least squares
+//
+//	min_s 1/2 ||y - A s||_2^2 + λ ||s||_1
+//
+// using FISTA (accelerated proximal gradient). Because the orthonormal DCT is
+// an isometry and subsampling is a contraction, ||A||_2 <= 1 and a unit step
+// size is always valid. ISTA and OMP solvers are provided for the ablation
+// study in DESIGN.md.
+package cs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dct"
+)
+
+// Method selects the sparse-recovery algorithm.
+type Method int
+
+const (
+	// FISTA is the accelerated proximal-gradient method (default).
+	FISTA Method = iota
+	// ISTA is the unaccelerated proximal-gradient method.
+	ISTA
+	// OMP is orthogonal matching pursuit (greedy support recovery).
+	OMP
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case FISTA:
+		return "fista"
+	case ISTA:
+		return "ista"
+	case OMP:
+		return "omp"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Options configures a reconstruction.
+type Options struct {
+	// Method selects the solver (default FISTA).
+	Method Method
+	// Lambda is the l1 penalty. When zero, it is set automatically to
+	// LambdaRel * max|A^T y|, the standard relative scaling.
+	Lambda float64
+	// LambdaRel is the relative penalty used when Lambda is zero.
+	// Defaults to 0.01.
+	LambdaRel float64
+	// MaxIter bounds the iteration count. Defaults to 500.
+	MaxIter int
+	// Tol stops iteration when the relative change of the iterate drops
+	// below it. Defaults to 1e-6.
+	Tol float64
+	// Continuation, when true (default via DefaultOptions), starts from a
+	// large penalty and geometrically decreases it to Lambda, which
+	// speeds up convergence on poorly conditioned sampling sets.
+	Continuation bool
+	// Debias, when true, follows l1 recovery with a least-squares polish
+	// restricted to the recovered support.
+	Debias bool
+	// OMPSparsity bounds the support size for OMP. When zero it defaults
+	// to len(y)/4.
+	OMPSparsity int
+}
+
+// DefaultOptions returns the options used throughout the paper
+// reproduction: FISTA with continuation, a light penalty (VQA landscapes are
+// extremely sparse, so shrinkage bias dominates the error budget), and a
+// least-squares debias pass.
+func DefaultOptions() Options {
+	return Options{
+		Method:       FISTA,
+		LambdaRel:    0.001,
+		MaxIter:      500,
+		Tol:          1e-6,
+		Continuation: true,
+		Debias:       true,
+	}
+}
+
+func (o *Options) fill() {
+	if o.LambdaRel == 0 {
+		o.LambdaRel = 0.01
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 500
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+}
+
+// Result carries the reconstruction and solver diagnostics.
+type Result struct {
+	// X is the reconstructed row-major rows×cols landscape.
+	X []float64
+	// Coeffs is the recovered DCT coefficient matrix (same layout).
+	Coeffs []float64
+	// Iterations is the number of solver iterations performed.
+	Iterations int
+	// Residual is the final ||y - A s||_2.
+	Residual float64
+	// Sparsity is the number of nonzero recovered coefficients.
+	Sparsity int
+}
+
+// Reconstruct2D recovers a rows×cols landscape from values y observed at the
+// row-major grid indices idx. idx entries must be unique and in
+// [0, rows*cols).
+func Reconstruct2D(rows, cols int, idx []int, y []float64, opt Options) (*Result, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("cs: invalid shape %dx%d", rows, cols)
+	}
+	n := rows * cols
+	if len(idx) != len(y) {
+		return nil, fmt.Errorf("cs: %d indices but %d values", len(idx), len(y))
+	}
+	if len(idx) == 0 {
+		return nil, errors.New("cs: no measurements")
+	}
+	seen := make(map[int]struct{}, len(idx))
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("cs: index %d out of range [0,%d)", i, n)
+		}
+		if _, dup := seen[i]; dup {
+			return nil, fmt.Errorf("cs: duplicate index %d", i)
+		}
+		seen[i] = struct{}{}
+	}
+	opt.fill()
+	op := newPartialDCT(rows, cols, idx)
+	switch opt.Method {
+	case FISTA, ISTA:
+		return solveProx(op, y, opt)
+	case OMP:
+		return solveOMP(op, y, opt)
+	default:
+		return nil, fmt.Errorf("cs: unknown method %v", opt.Method)
+	}
+}
+
+// partialDCT is the measurement operator A and its adjoint.
+type partialDCT struct {
+	rows, cols int
+	idx        []int
+	plan       *dct.Plan2D
+	grid       []float64 // scratch, length rows*cols
+}
+
+func newPartialDCT(rows, cols int, idx []int) *partialDCT {
+	return &partialDCT{
+		rows: rows,
+		cols: cols,
+		idx:  idx,
+		plan: dct.NewPlan2D(rows, cols),
+		grid: make([]float64, rows*cols),
+	}
+}
+
+func (op *partialDCT) n() int { return op.rows * op.cols }
+func (op *partialDCT) m() int { return len(op.idx) }
+
+// forward computes A s = subsample(IDCT2(s)) into out (length m).
+func (op *partialDCT) forward(out, s []float64) {
+	op.plan.Inverse(op.grid, s)
+	for j, gi := range op.idx {
+		out[j] = op.grid[gi]
+	}
+}
+
+// adjoint computes A^T r = DCT2(scatter(r)) into out (length n).
+func (op *partialDCT) adjoint(out, r []float64) {
+	for i := range op.grid {
+		op.grid[i] = 0
+	}
+	for j, gi := range op.idx {
+		op.grid[gi] = r[j]
+	}
+	op.plan.Forward(out, op.grid)
+}
+
+func softThreshold(dst, src []float64, t float64) {
+	for i, v := range src {
+		switch {
+		case v > t:
+			dst[i] = v - t
+		case v < -t:
+			dst[i] = v + t
+		default:
+			dst[i] = 0
+		}
+	}
+}
+
+func norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// solveProx runs FISTA (or ISTA) on the lasso objective.
+func solveProx(op *partialDCT, y []float64, opt Options) (*Result, error) {
+	n, m := op.n(), op.m()
+	aty := make([]float64, n)
+	op.adjoint(aty, y)
+	maxAbs := 0.0
+	for _, v := range aty {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	lambda := opt.Lambda
+	if lambda == 0 {
+		lambda = opt.LambdaRel * maxAbs
+	}
+	if maxAbs == 0 {
+		// All-zero measurements: the zero landscape is exact.
+		return &Result{X: make([]float64, n), Coeffs: make([]float64, n)}, nil
+	}
+
+	s := make([]float64, n)     // current iterate
+	z := make([]float64, n)     // extrapolation point (FISTA)
+	prev := make([]float64, n)  // previous iterate
+	grad := make([]float64, n)  // A^T (A z - y)
+	resid := make([]float64, m) // A z - y
+	az := make([]float64, m)
+
+	// Continuation schedule: geometric decay from a large penalty.
+	lam := lambda
+	if opt.Continuation {
+		lam = 0.5 * maxAbs
+		if lam < lambda {
+			lam = lambda
+		}
+	}
+	tk := 1.0
+	iters := 0
+	for it := 0; it < opt.MaxIter; it++ {
+		iters++
+		op.forward(az, z)
+		for j := range resid {
+			resid[j] = az[j] - y[j]
+		}
+		op.adjoint(grad, resid)
+		copy(prev, s)
+		for i := range s {
+			s[i] = z[i] - grad[i]
+		}
+		softThreshold(s, s, lam)
+
+		if opt.Method == FISTA {
+			tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
+			beta := (tk - 1) / tNext
+			for i := range z {
+				z[i] = s[i] + beta*(s[i]-prev[i])
+			}
+			tk = tNext
+		} else {
+			copy(z, s)
+		}
+
+		// Convergence: relative step size, once the continuation
+		// schedule has reached the target penalty.
+		var diff, base float64
+		for i := range s {
+			d := s[i] - prev[i]
+			diff += d * d
+			base += s[i] * s[i]
+		}
+		atTarget := lam <= lambda*1.0000001
+		if atTarget && diff <= opt.Tol*opt.Tol*(base+1e-30) {
+			break
+		}
+		if opt.Continuation && lam > lambda {
+			lam *= 0.7
+			if lam < lambda {
+				lam = lambda
+			}
+		}
+	}
+
+	if opt.Debias {
+		debias(op, s, y)
+	}
+
+	op.forward(az, s)
+	for j := range resid {
+		resid[j] = az[j] - y[j]
+	}
+	x := make([]float64, n)
+	op.plan.Inverse(x, s)
+	return &Result{
+		X:          x,
+		Coeffs:     s,
+		Iterations: iters,
+		Residual:   norm2(resid),
+		Sparsity:   countNonzero(s),
+	}, nil
+}
+
+func countNonzero(s []float64) int {
+	c := 0
+	for _, v := range s {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// debias polishes the solution with conjugate-gradient least squares
+// restricted to the recovered support.
+func debias(op *partialDCT, s, y []float64) {
+	support := make([]int, 0, 64)
+	for i, v := range s {
+		if v != 0 {
+			support = append(support, i)
+		}
+	}
+	if len(support) == 0 || len(support) > op.m() {
+		return
+	}
+	// Solve min over coefficients on the support via gradient descent with
+	// a fixed number of CG-like steps (the operator restricted to the
+	// support still has spectral norm <= 1).
+	grad := make([]float64, op.n())
+	resid := make([]float64, op.m())
+	as := make([]float64, op.m())
+	for it := 0; it < 50; it++ {
+		op.forward(as, s)
+		for j := range resid {
+			resid[j] = as[j] - y[j]
+		}
+		op.adjoint(grad, resid)
+		var gnorm float64
+		for _, i := range support {
+			gnorm += grad[i] * grad[i]
+		}
+		if gnorm < 1e-24 {
+			return
+		}
+		for _, i := range support {
+			s[i] -= grad[i]
+		}
+	}
+}
+
+// solveOMP runs orthogonal matching pursuit: greedily grow the support,
+// refitting by least squares (gradient polish) after each addition.
+func solveOMP(op *partialDCT, y []float64, opt Options) (*Result, error) {
+	n, m := op.n(), op.m()
+	k := opt.OMPSparsity
+	if k <= 0 {
+		k = m / 4
+	}
+	if k > m {
+		k = m
+	}
+	s := make([]float64, n)
+	inSupport := make([]bool, n)
+	resid := make([]float64, m)
+	copy(resid, y)
+	corr := make([]float64, n)
+	as := make([]float64, m)
+	iters := 0
+	for len(supportOf(inSupport)) < k {
+		iters++
+		op.adjoint(corr, resid)
+		best, bestAbs := -1, 0.0
+		for i, v := range corr {
+			if inSupport[i] {
+				continue
+			}
+			if a := math.Abs(v); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 || bestAbs < 1e-12 {
+			break
+		}
+		inSupport[best] = true
+		// Least-squares refit on the support by projected gradient.
+		for polish := 0; polish < 25; polish++ {
+			op.forward(as, s)
+			for j := range resid {
+				resid[j] = as[j] - y[j]
+			}
+			op.adjoint(corr, resid)
+			var gnorm float64
+			for i := range corr {
+				if inSupport[i] {
+					gnorm += corr[i] * corr[i]
+				}
+			}
+			if gnorm < 1e-24 {
+				break
+			}
+			for i := range corr {
+				if inSupport[i] {
+					s[i] -= corr[i]
+				}
+			}
+		}
+		op.forward(as, s)
+		for j := range resid {
+			resid[j] = y[j] - as[j]
+		}
+		if norm2(resid) < 1e-10*(1+norm2(y)) {
+			break
+		}
+		// resid currently holds y - A s; adjoint correlation expects
+		// that orientation for the next greedy pick.
+	}
+	op.forward(as, s)
+	for j := range resid {
+		resid[j] = as[j] - y[j]
+	}
+	x := make([]float64, n)
+	op.plan.Inverse(x, s)
+	return &Result{
+		X:          x,
+		Coeffs:     s,
+		Iterations: iters,
+		Residual:   norm2(resid),
+		Sparsity:   countNonzero(s),
+	}, nil
+}
+
+func supportOf(in []bool) []int {
+	var out []int
+	for i, b := range in {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SampleIndices draws m distinct row-major indices uniformly at random from
+// an n-point grid — OSCAR's parameter-sampling phase. The result is sorted.
+func SampleIndices(rng *rand.Rand, n, m int) ([]int, error) {
+	if m <= 0 || m > n {
+		return nil, fmt.Errorf("cs: cannot sample %d of %d points", m, n)
+	}
+	// Partial Fisher-Yates over an index permutation.
+	perm := rng.Perm(n)
+	out := append([]int(nil), perm[:m]...)
+	sort.Ints(out)
+	return out, nil
+}
+
+// StratifiedIndices draws approximately m indices using jittered stratified
+// sampling over the grid: the grid is divided into m nearly equal buckets and
+// one point is drawn per bucket. Used by the sampling-pattern ablation.
+func StratifiedIndices(rng *rand.Rand, n, m int) ([]int, error) {
+	if m <= 0 || m > n {
+		return nil, fmt.Errorf("cs: cannot sample %d of %d points", m, n)
+	}
+	out := make([]int, 0, m)
+	seen := make(map[int]struct{}, m)
+	for b := 0; b < m; b++ {
+		lo := b * n / m
+		hi := (b + 1) * n / m
+		if hi <= lo {
+			hi = lo + 1
+		}
+		i := lo + rng.Intn(hi-lo)
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Reconstruct1D recovers a length-n signal from samples at the given
+// indices. One-dimensional landscapes arise when OSCAR scans a single
+// circuit parameter (line cuts for quick diagnostics); the solver treats the
+// vector as a 1xN grid.
+func Reconstruct1D(n int, idx []int, y []float64, opt Options) (*Result, error) {
+	return Reconstruct2D(1, n, idx, y, opt)
+}

@@ -1,0 +1,348 @@
+package cs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dct"
+)
+
+// sparseLandscape builds a rows×cols signal with k active DCT modes.
+func sparseLandscape(rng *rand.Rand, rows, cols, k int) ([]float64, []float64) {
+	n := rows * cols
+	coeffs := make([]float64, n)
+	for i := 0; i < k; i++ {
+		// Keep modes low-frequency, like real VQA landscapes.
+		r := rng.Intn(rows/3 + 1)
+		c := rng.Intn(cols/3 + 1)
+		coeffs[r*cols+c] = 2*rng.Float64() + 1
+	}
+	x := make([]float64, n)
+	dct.NewPlan2D(rows, cols).Inverse(x, coeffs)
+	return x, coeffs
+}
+
+func relErr(got, want []float64) float64 {
+	var num, den float64
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestReconstructExactSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows, cols := 30, 40
+	x, _ := sparseLandscape(rng, rows, cols, 5)
+	idx, err := SampleIndices(rng, rows*cols, rows*cols/5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	res, err := Reconstruct2D(rows, cols, idx, y, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.X, x); e > 0.02 {
+		t.Fatalf("relative error %g too high for 20%% sampling of 5-sparse signal", e)
+	}
+}
+
+func TestReconstructMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rows, cols := 24, 24
+	x, _ := sparseLandscape(rng, rows, cols, 4)
+	idx, _ := SampleIndices(rng, rows*cols, 160)
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	for _, m := range []Method{FISTA, ISTA, OMP} {
+		opt := DefaultOptions()
+		opt.Method = m
+		if m == ISTA {
+			opt.MaxIter = 2000
+		}
+		if m == OMP {
+			opt.OMPSparsity = 16
+		}
+		res, err := Reconstruct2D(rows, cols, idx, y, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if e := relErr(res.X, x); e > 0.1 {
+			t.Errorf("%v: relative error %g too high", m, e)
+		}
+	}
+}
+
+func TestReconstructNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rows, cols := 30, 30
+	x, _ := sparseLandscape(rng, rows, cols, 4)
+	idx, _ := SampleIndices(rng, rows*cols, 300)
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i] + 0.01*rng.NormFloat64()
+	}
+	opt := DefaultOptions()
+	opt.LambdaRel = 0.02
+	res, err := Reconstruct2D(rows, cols, idx, y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.X, x); e > 0.1 {
+		t.Fatalf("relative error %g too high under measurement noise", e)
+	}
+}
+
+func TestReconstructDebias(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	rows, cols := 20, 20
+	x, _ := sparseLandscape(rng, rows, cols, 3)
+	idx, _ := SampleIndices(rng, rows*cols, 120)
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	plain := DefaultOptions()
+	plain.Debias = false
+	deb := DefaultOptions()
+	deb.Debias = true
+	r1, err := Reconstruct2D(rows, cols, idx, y, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Reconstruct2D(rows, cols, idx, y, deb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(r2.X, x) > relErr(r1.X, x)+1e-9 {
+		t.Errorf("debiasing made recovery worse: %g vs %g", relErr(r2.X, x), relErr(r1.X, x))
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		rows int
+		cols int
+		idx  []int
+		y    []float64
+	}{
+		{"bad shape", 0, 5, []int{0}, []float64{1}},
+		{"length mismatch", 4, 4, []int{0, 1}, []float64{1}},
+		{"empty", 4, 4, nil, nil},
+		{"out of range", 4, 4, []int{16}, []float64{1}},
+		{"negative", 4, 4, []int{-1}, []float64{1}},
+		{"duplicate", 4, 4, []int{3, 3}, []float64{1, 1}},
+	}
+	for _, tc := range cases {
+		if _, err := Reconstruct2D(tc.rows, tc.cols, tc.idx, tc.y, DefaultOptions()); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+func TestReconstructZeroSignal(t *testing.T) {
+	idx := []int{0, 5, 10, 15}
+	y := []float64{0, 0, 0, 0}
+	res, err := Reconstruct2D(4, 4, idx, y, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if v != 0 {
+			t.Fatalf("X[%d]=%g, want 0", i, v)
+		}
+	}
+}
+
+// TestAdjointProperty verifies <A s, r> == <s, A^T r> for random vectors, the
+// defining property the proximal solver relies on.
+func TestAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	rows, cols := 9, 13
+	n := rows * cols
+	idx, _ := SampleIndices(rng, n, 40)
+	op := newPartialDCT(rows, cols, idx)
+	f := func(seed int64) bool {
+		r2 := rand.New(rand.NewSource(seed))
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = r2.NormFloat64()
+		}
+		r := make([]float64, len(idx))
+		for i := range r {
+			r[i] = r2.NormFloat64()
+		}
+		as := make([]float64, len(idx))
+		op.forward(as, s)
+		atr := make([]float64, n)
+		op.adjoint(atr, r)
+		var lhs, rhs float64
+		for i := range as {
+			lhs += as[i] * r[i]
+		}
+		for i := range s {
+			rhs += s[i] * atr[i]
+		}
+		return math.Abs(lhs-rhs) <= 1e-8*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOperatorContraction verifies ||A s|| <= ||s||, which justifies the unit
+// FISTA step size.
+func TestOperatorContraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	rows, cols := 10, 14
+	n := rows * cols
+	idx, _ := SampleIndices(rng, n, 50)
+	op := newPartialDCT(rows, cols, idx)
+	for trial := 0; trial < 30; trial++ {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		as := make([]float64, len(idx))
+		op.forward(as, s)
+		var ns, nas float64
+		for _, v := range s {
+			ns += v * v
+		}
+		for _, v := range as {
+			nas += v * v
+		}
+		if nas > ns*(1+1e-9) {
+			t.Fatalf("||As||^2=%g > ||s||^2=%g", nas, ns)
+		}
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	idx, err := SampleIndices(rng, 100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 30 {
+		t.Fatalf("got %d indices, want 30", len(idx))
+	}
+	seen := map[int]bool{}
+	last := -1
+	for _, i := range idx {
+		if i < 0 || i >= 100 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		if i <= last {
+			t.Fatalf("indices not sorted at %d", i)
+		}
+		seen[i] = true
+		last = i
+	}
+	if _, err := SampleIndices(rng, 10, 11); err == nil {
+		t.Error("want error sampling 11 of 10")
+	}
+	if _, err := SampleIndices(rng, 10, 0); err == nil {
+		t.Error("want error sampling 0")
+	}
+}
+
+func TestStratifiedIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	idx, err := StratifiedIndices(rng, 100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) == 0 || len(idx) > 25 {
+		t.Fatalf("got %d indices", len(idx))
+	}
+	// Every bucket of 4 should hold at most one point by construction.
+	for _, i := range idx {
+		if i < 0 || i >= 100 {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+	if _, err := StratifiedIndices(rng, 10, 0); err == nil {
+		t.Error("want error for m=0")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if FISTA.String() != "fista" || ISTA.String() != "ista" || OMP.String() != "omp" {
+		t.Error("method names wrong")
+	}
+	if Method(42).String() == "" {
+		t.Error("unknown method should still stringify")
+	}
+}
+
+// TestRecoveryImprovesWithSamples is the qualitative Figure 4 property:
+// reconstruction error decreases as the sampling fraction grows.
+func TestRecoveryImprovesWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	rows, cols := 25, 25
+	x, _ := sparseLandscape(rng, rows, cols, 6)
+	errs := make([]float64, 0, 3)
+	for _, m := range []int{40, 120, 320} {
+		idx, _ := SampleIndices(rand.New(rand.NewSource(99)), rows*cols, m)
+		y := make([]float64, len(idx))
+		for j, i := range idx {
+			y[j] = x[i]
+		}
+		res, err := Reconstruct2D(rows, cols, idx, y, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, relErr(res.X, x))
+	}
+	if !(errs[2] <= errs[0]) {
+		t.Fatalf("error did not improve with samples: %v", errs)
+	}
+	if errs[2] > 0.05 {
+		t.Fatalf("error at 51%% sampling too high: %g", errs[2])
+	}
+}
+
+func TestReconstruct1D(t *testing.T) {
+	n := 200
+	x := make([]float64, n)
+	for i := range x {
+		// Two cosine modes: 2-sparse in the DCT basis.
+		x[i] = math.Cos(math.Pi*(2*float64(i)+1)*3/(2*float64(n))) +
+			0.5*math.Cos(math.Pi*(2*float64(i)+1)*7/(2*float64(n)))
+	}
+	rng := rand.New(rand.NewSource(20))
+	idx, err := SampleIndices(rng, n, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	res, err := Reconstruct1D(n, idx, y, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.X, x); e > 0.01 {
+		t.Fatalf("1-D relative error %g", e)
+	}
+}

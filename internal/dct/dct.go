@@ -1,0 +1,200 @@
+package dct
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plan computes orthonormal DCT-II (forward) and DCT-III (inverse)
+// transforms of a fixed length. With the orthonormal convention the forward
+// and inverse transforms are transposes of each other, so the transform is an
+// isometry: ||Forward(x)||_2 == ||x||_2. That property is what makes the
+// partial-DCT compressed-sensing operator have unit Lipschitz constant.
+type Plan struct {
+	n    int
+	fft  *fftPlan // size 2n
+	c    []float64
+	buf  []complex128
+	cosK []complex128 // exp(-i*pi*k/(2n))
+}
+
+// NewPlan creates a DCT plan for vectors of length n.
+func NewPlan(n int) *Plan {
+	if n <= 0 {
+		panic(fmt.Sprintf("dct: invalid DCT size %d", n))
+	}
+	p := &Plan{
+		n:    n,
+		fft:  newFFTPlan(2 * n),
+		c:    make([]float64, n),
+		buf:  make([]complex128, 2*n),
+		cosK: make([]complex128, n),
+	}
+	p.c[0] = math.Sqrt(1 / float64(n))
+	for k := 1; k < n; k++ {
+		p.c[k] = math.Sqrt(2 / float64(n))
+	}
+	for k := 0; k < n; k++ {
+		theta := -math.Pi * float64(k) / float64(2*n)
+		p.cosK[k] = complex(math.Cos(theta), math.Sin(theta))
+	}
+	return p
+}
+
+// N reports the transform length.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the orthonormal DCT-II of src into dst. dst and src may
+// be the same slice. Both must have length n.
+func (p *Plan) Forward(dst, src []float64) {
+	p.check(dst, src)
+	n := p.n
+	// Mirror extension: y = [x, reverse(x)] has a 2n-point DFT whose
+	// twiddled real part is the (unnormalized) DCT-II of x.
+	for i := 0; i < n; i++ {
+		v := complex(src[i], 0)
+		p.buf[i] = v
+		p.buf[2*n-1-i] = v
+	}
+	p.fft.Forward(p.buf)
+	for k := 0; k < n; k++ {
+		d := real(p.buf[k]*p.cosK[k]) / 2
+		dst[k] = p.c[k] * d
+	}
+}
+
+// Inverse computes the orthonormal DCT-III (the inverse of Forward) of src
+// into dst. dst and src may be the same slice.
+func (p *Plan) Inverse(dst, src []float64) {
+	p.check(dst, src)
+	n := p.n
+	// Reverse the forward pipeline: rebuild the 2n-point spectrum of the
+	// mirrored sequence from the cosine coefficients, then inverse DFT.
+	p.buf[n] = 0
+	for k := 0; k < n; k++ {
+		d := complex(2*src[k]/p.c[k], 0)
+		v := d * complex(real(p.cosK[k]), -imag(p.cosK[k])) // e^{+i*pi*k/2n}
+		p.buf[k] = v
+		if k > 0 {
+			p.buf[2*n-k] = complex(real(v), -imag(v))
+		}
+	}
+	p.fft.Inverse(p.buf)
+	for i := 0; i < n; i++ {
+		dst[i] = real(p.buf[i])
+	}
+}
+
+func (p *Plan) check(dst, src []float64) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic(fmt.Sprintf("dct: length mismatch dst=%d src=%d plan=%d", len(dst), len(src), p.n))
+	}
+}
+
+// ForwardDirect computes the orthonormal DCT-II by direct O(n^2) summation.
+// It exists as a reference implementation for tests and for the DCT ablation
+// benchmark.
+func ForwardDirect(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		c := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			c = math.Sqrt(1 / float64(n))
+		}
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[i] * math.Cos(math.Pi*(2*float64(i)+1)*float64(k)/(2*float64(n)))
+		}
+		out[k] = c * s
+	}
+	return out
+}
+
+// InverseDirect computes the orthonormal DCT-III by direct O(n^2) summation.
+func InverseDirect(y []float64) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := 0; k < n; k++ {
+			c := math.Sqrt(2 / float64(n))
+			if k == 0 {
+				c = math.Sqrt(1 / float64(n))
+			}
+			s += c * y[k] * math.Cos(math.Pi*(2*float64(i)+1)*float64(k)/(2*float64(n)))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Plan2D computes separable orthonormal 2-D DCTs on row-major rows×cols
+// data. It is the sparsifying transform used by the compressed-sensing
+// solver: a landscape X is represented as X = IDCT2(S) with S sparse.
+type Plan2D struct {
+	rows, cols int
+	rowPlan    *Plan // length cols
+	colPlan    *Plan // length rows
+	colBuf     []float64
+	colOut     []float64
+}
+
+// NewPlan2D creates a 2-D DCT plan for row-major rows×cols grids.
+func NewPlan2D(rows, cols int) *Plan2D {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("dct: invalid 2-D DCT shape %dx%d", rows, cols))
+	}
+	return &Plan2D{
+		rows:    rows,
+		cols:    cols,
+		rowPlan: NewPlan(cols),
+		colPlan: NewPlan(rows),
+		colBuf:  make([]float64, rows),
+		colOut:  make([]float64, rows),
+	}
+}
+
+// Rows reports the number of rows the plan transforms.
+func (p *Plan2D) Rows() int { return p.rows }
+
+// Cols reports the number of columns the plan transforms.
+func (p *Plan2D) Cols() int { return p.cols }
+
+// Forward computes the 2-D orthonormal DCT-II of src into dst (row-major,
+// length rows*cols). dst and src may alias.
+func (p *Plan2D) Forward(dst, src []float64) { p.apply(dst, src, true) }
+
+// Inverse computes the 2-D orthonormal DCT-III of src into dst.
+func (p *Plan2D) Inverse(dst, src []float64) { p.apply(dst, src, false) }
+
+func (p *Plan2D) apply(dst, src []float64, forward bool) {
+	n := p.rows * p.cols
+	if len(dst) != n || len(src) != n {
+		panic(fmt.Sprintf("dct: 2-D length mismatch dst=%d src=%d want=%d", len(dst), len(src), n))
+	}
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	for r := 0; r < p.rows; r++ {
+		row := dst[r*p.cols : (r+1)*p.cols]
+		if forward {
+			p.rowPlan.Forward(row, row)
+		} else {
+			p.rowPlan.Inverse(row, row)
+		}
+	}
+	for c := 0; c < p.cols; c++ {
+		for r := 0; r < p.rows; r++ {
+			p.colBuf[r] = dst[r*p.cols+c]
+		}
+		if forward {
+			p.colPlan.Forward(p.colOut, p.colBuf)
+		} else {
+			p.colPlan.Inverse(p.colOut, p.colBuf)
+		}
+		for r := 0; r < p.rows; r++ {
+			dst[r*p.cols+c] = p.colOut[r]
+		}
+	}
+}

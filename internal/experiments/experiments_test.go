@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 2023, Quick: true} }
+
+func cell(t *testing.T, table *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(table.Rows[row][col], "%"), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, table.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig2", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "speedup", "eager",
+	}
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("IDs() has %d entries, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "T",
+		Headers: []string{"a", "long-header"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "n",
+	}
+	s := tab.Format()
+	for _, want := range []string{"== x: T ==", "long-header", "333", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("format missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+// TestTable2Shape checks the paper's qualitative Table 2 claims: Two-local
+// landscapes reconstruct better than QAOA, and 14 samples/dim beats 7.
+func TestTable2Shape(t *testing.T) {
+	tab, err := Table2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Columns: problem, qubits, params, samples, QAOA, Two-local.
+	for r := range tab.Rows {
+		qaoa := cell(t, tab, r, 4)
+		twolocal := cell(t, tab, r, 5)
+		if twolocal >= qaoa {
+			t.Errorf("row %d: Two-local (%g) should beat QAOA (%g)", r, twolocal, qaoa)
+		}
+	}
+	// n=6 rows (14 samples) should beat n=4 rows (7 samples) within each
+	// problem for Two-local.
+	if cell(t, tab, 1, 5) >= cell(t, tab, 0, 5) {
+		t.Errorf("Two-local n=6 (%g) should beat n=4 (%g)", cell(t, tab, 1, 5), cell(t, tab, 0, 5))
+	}
+}
+
+// TestTable3Shape checks that 50 samples/dim reconstructs H2-UCCSD far
+// better than 14 (paper: 0.345 -> 0.005).
+func TestTable3Shape(t *testing.T) {
+	tab, err := Table3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	h2uccsd14 := cell(t, tab, 2, 5)
+	h2uccsd50 := cell(t, tab, 3, 5)
+	if h2uccsd50 >= h2uccsd14 {
+		t.Errorf("H2-UCCSD: 50 samples (%g) should beat 14 (%g)", h2uccsd50, h2uccsd14)
+	}
+	if h2uccsd50 > 0.05 {
+		t.Errorf("H2-UCCSD at 50 samples: NRMSE %g too high", h2uccsd50)
+	}
+}
+
+// TestTable4Shape checks the sparsity evidence: every landscape needs only a
+// few percent of DCT coefficients for 99% of its energy.
+func TestTable4Shape(t *testing.T) {
+	tab, err := Table4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for r, row := range tab.Rows {
+		for c := 1; c < len(row); c++ {
+			if row[c] == "-" {
+				continue
+			}
+			v := cell(t, tab, r, c)
+			if v <= 0 || v > 10 {
+				t.Errorf("row %d col %d: energy fraction %g%% implausible", r, c, v)
+			}
+		}
+	}
+}
+
+// TestFig5And6Shape checks hardware-landscape reconstruction: errors in the
+// paper's 0.1-0.8 band and decreasing with sampling fraction.
+func TestFig5And6Shape(t *testing.T) {
+	tab5, err := Fig5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab5.Rows {
+		nr := cell(t, tab5, r, 1)
+		if nr <= 0 || nr > 0.8 {
+			t.Errorf("fig5 row %d: NRMSE %g outside the hardware band", r, nr)
+		}
+	}
+	tab6, err := Fig6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per problem: first fraction's error >= last fraction's.
+	byProblem := map[string][]float64{}
+	for r, row := range tab6.Rows {
+		byProblem[row[0]] = append(byProblem[row[0]], cell(t, tab6, r, 2))
+	}
+	for name, errs := range byProblem {
+		if errs[len(errs)-1] >= errs[0] {
+			t.Errorf("fig6 %s: error not decreasing: %v", name, errs)
+		}
+	}
+}
+
+// TestFig8Shape checks that NCM never hurts and that all-QPU1 sampling hits
+// the floor.
+func TestFig8Shape(t *testing.T) {
+	tab, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		plain := cell(t, tab, r, 2)
+		comp := cell(t, tab, r, 3)
+		if comp > plain+0.01 {
+			t.Errorf("row %d: NCM made it worse: %g vs %g", r, comp, plain)
+		}
+	}
+}
+
+// TestFig9Shape checks the mitigation-roughness claim: Richardson's D2 far
+// exceeds linear's, on both original and reconstructed landscapes.
+func TestFig9Shape(t *testing.T) {
+	tab, err := Fig9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d2 = map[string]float64{}
+	for r, row := range tab.Rows {
+		if row[1] == "original" || row[1] == "reconstructed" {
+			d2[row[0]+"/"+row[1]] = cell(t, tab, r, 2)
+		}
+	}
+	if d2["richardson/original"] < 2*d2["linear/original"] {
+		t.Errorf("original: Richardson D2 %g not >> linear %g", d2["richardson/original"], d2["linear/original"])
+	}
+	if d2["richardson/reconstructed"] < 1.5*d2["linear/reconstructed"] {
+		t.Errorf("recon: Richardson D2 %g not >> linear %g", d2["richardson/reconstructed"], d2["linear/reconstructed"])
+	}
+}
+
+// TestSpeedupShape checks the 2x-20x headline claim.
+func TestSpeedupShape(t *testing.T) {
+	tab, err := Speedup(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 4 is "oscar @ 5% sampling" with speedup "20.0x".
+	found := false
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[2], "20.0x") {
+			found = true
+			nr, err := strconv.ParseFloat(row[3], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nr > 0.15 {
+				t.Errorf("20x speedup with NRMSE %g — accuracy lost", nr)
+			}
+		}
+	}
+	if !found {
+		t.Error("no 20x row in speedup table")
+	}
+}
+
+// TestEagerShape checks that eager reconstruction saves time without
+// destroying accuracy.
+func TestEagerShape(t *testing.T) {
+	tab, err := Eager(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1] // keep=100%
+	q90 := tab.Rows[1]                // keep=90%
+	nrFull, _ := strconv.ParseFloat(last[4], 64)
+	nr90, _ := strconv.ParseFloat(q90[4], 64)
+	if nr90 > nrFull+0.1 {
+		t.Errorf("eager@90%% NRMSE %g much worse than full %g", nr90, nrFull)
+	}
+	if !strings.Contains(q90[3], "s (") {
+		t.Errorf("eager row has no time saving: %v", q90)
+	}
+}
+
+// TestFig2And11 run the optimizer-facing generators.
+func TestFig2And11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimizer experiments are slow")
+	}
+	tab, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 6 {
+		t.Fatalf("fig2 rows %d", len(tab.Rows))
+	}
+	tab11, err := Fig11(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoint distance must be small relative to the grid diagonal (~3.5).
+	var dist float64 = -1
+	for _, row := range tab11.Rows {
+		if row[0] == "endpoint distance" {
+			dist, err = strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if dist < 0 || dist > 0.5 {
+		t.Errorf("fig11 endpoint distance %g", dist)
+	}
+}
+
+// TestFig13Shape checks that COBYLA beats ADAM on the Richardson landscape.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimizer experiments are slow")
+	}
+	tab, err := Fig13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adam := cell(t, tab, 0, 1)
+	cobyla := cell(t, tab, 1, 1)
+	if cobyla >= adam {
+		t.Errorf("COBYLA median %g should beat ADAM %g on the jagged landscape", cobyla, adam)
+	}
+}

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ansatz"
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/landscape"
+	"repro/internal/problem"
+)
+
+// Table1 prints the grid definitions of the paper's Table 1 (no
+// measurement; this is configuration documentation).
+func Table1(cfg Config) (*Table, error) {
+	b1min, b1max, g1min, g1max := ansatz.QAOAGridAxes(1)
+	b2min, b2max, g2min, g2max := ansatz.QAOAGridAxes(2)
+	return &Table{
+		ID:      "table1",
+		Title:   "Grid definition of QAOA ansatz",
+		Headers: []string{"depth", "beta range", "#beta", "gamma range", "#gamma", "total points"},
+		Rows: [][]string{
+			{"p=1", fmt.Sprintf("[%.3f, %.3f]", b1min, b1max), "50", fmt.Sprintf("[%.3f, %.3f]", g1min, g1max), "100", "5000"},
+			{"p=2", fmt.Sprintf("[%.3f, %.3f]", b2min, b2max), "12 per layer", fmt.Sprintf("[%.3f, %.3f]", g2min, g2max), "15 per layer", "12^2*15^2 = 32400"},
+		},
+	}, nil
+}
+
+// twoParamSlice builds a 2-D landscape of an arbitrary-arity evaluator by
+// varying two randomly chosen parameters and fixing the rest at random
+// values — the paper's Table 2/3 protocol for high-dimensional ansatzes.
+type twoParamSlice struct {
+	eval  backend.Evaluator
+	vary  [2]int
+	fixed []float64
+}
+
+func newTwoParamSlice(eval backend.Evaluator, rng *rand.Rand, lo, hi float64) *twoParamSlice {
+	n := eval.NumParams()
+	fixed := make([]float64, n)
+	for i := range fixed {
+		fixed[i] = lo + (hi-lo)*rng.Float64()
+	}
+	i := rng.Intn(n)
+	j := rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return &twoParamSlice{eval: eval, vary: [2]int{i, j}, fixed: fixed}
+}
+
+func (s *twoParamSlice) Evaluate(p []float64) (float64, error) {
+	full := append([]float64(nil), s.fixed...)
+	full[s.vary[0]] = p[0]
+	full[s.vary[1]] = p[1]
+	return s.eval.Evaluate(full)
+}
+
+// sliceGrid builds the samplesPerDim x samplesPerDim grid over [lo, hi]^2
+// used by the Table 2/3 protocol.
+func sliceGrid(samplesPerDim int, lo, hi float64) (*landscape.Grid, error) {
+	return landscape.NewGrid(
+		landscape.Axis{Name: "p_i", Min: lo, Max: hi, N: samplesPerDim},
+		landscape.Axis{Name: "p_j", Min: lo, Max: hi, N: samplesPerDim},
+	)
+}
+
+// reconSliceError runs the Table 2/3 protocol once: dense truth on the
+// 2-parameter slice, reconstruction from a fraction of points, NRMSE.
+func reconSliceError(eval backend.Evaluator, rng *rand.Rand, samplesPerDim int, lo, hi, fraction float64, workers int) (float64, error) {
+	sl := newTwoParamSlice(eval, rng, lo, hi)
+	grid, err := sliceGrid(samplesPerDim, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	truth, err := landscape.Generate(grid, sl.Evaluate, workers)
+	if err != nil {
+		return 0, err
+	}
+	recon, _, err := core.Reconstruct(grid, sl.Evaluate, core.Options{
+		SamplingFraction: fraction,
+		Seed:             rng.Int63(),
+		Workers:          workers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return landscape.NRMSE(truth.Data, recon.Data)
+}
+
+// table2Case describes one row of Table 2.
+type table2Case struct {
+	problemKind string // "3reg" or "sk"
+	qubits      int
+	params      int
+	samples     int
+}
+
+// buildCaseEvaluators returns the QAOA and Two-local evaluators for a Table
+// 2 case. QAOA depth is chosen so 2p = params; Two-local reps so
+// n*(reps+1) = params.
+func buildCaseEvaluators(kind string, qubits, params int, rng *rand.Rand) (qaoaEval, twoLocalEval backend.Evaluator, err error) {
+	var p *problem.Problem
+	switch kind {
+	case "3reg":
+		p, err = problem.Random3RegularMaxCut(qubits, rng)
+	case "sk":
+		p, err = problem.SK(qubits, rng)
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown problem kind %q", kind)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	qa, err := ansatz.QAOA(p.Graph, params/2)
+	if err != nil {
+		return nil, nil, err
+	}
+	qaoaEval, err = backend.NewStateVector(p, qa)
+	if err != nil {
+		return nil, nil, err
+	}
+	reps := params/qubits - 1
+	tl, err := ansatz.TwoLocal(qubits, reps)
+	if err != nil {
+		return nil, nil, err
+	}
+	twoLocalEval, err = backend.NewStateVector(p, tl)
+	if err != nil {
+		return nil, nil, err
+	}
+	return qaoaEval, twoLocalEval, nil
+}
+
+// Table2 reproduces the paper's Table 2: reconstruction errors for QAOA and
+// Two-local ansatzes on 4- and 6-qubit MaxCut and SK problems using the
+// two-varying-parameter protocol.
+func Table2(cfg Config) (*Table, error) {
+	repeats := 20
+	if cfg.Quick {
+		repeats = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cases := []table2Case{
+		{"3reg", 4, 8, 7},
+		{"3reg", 6, 6, 14},
+		{"sk", 4, 8, 7},
+		{"sk", 6, 6, 14},
+	}
+	t := &Table{
+		ID:      "table2",
+		Title:   "Reconstruction errors (NRMSE) for QAOA and Two-local ansatzes",
+		Headers: []string{"problem", "#qubits", "#params", "#samples/dim", "QAOA", "Two-local"},
+		Notes:   fmt.Sprintf("median over %d random 2-parameter slices; sampling fraction 30%%", repeats),
+	}
+	for _, c := range cases {
+		qe, te, err := buildCaseEvaluators(c.problemKind, c.qubits, c.params, rng)
+		if err != nil {
+			return nil, err
+		}
+		var qErrs, tErrs []float64
+		for r := 0; r < repeats; r++ {
+			e1, err := reconSliceError(qe, rng, c.samples, -math.Pi/2, math.Pi/2, 0.3, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			e2, err := reconSliceError(te, rng, c.samples, -math.Pi, math.Pi, 0.3, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			qErrs = append(qErrs, e1)
+			tErrs = append(tErrs, e2)
+		}
+		name := "3-reg MaxCut"
+		if c.problemKind == "sk" {
+			name = "SK Problem"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(c.qubits), fmt.Sprint(c.params), fmt.Sprint(c.samples),
+			f(median(qErrs)), f(median(tErrs)),
+		})
+	}
+	return t, nil
+}
+
+// Table3 reproduces the paper's Table 3: reconstruction errors for H2 and
+// LiH with Two-local and UCCSD-style ansatzes.
+func Table3(cfg Config) (*Table, error) {
+	repeats := 20
+	if cfg.Quick {
+		repeats = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	type row struct {
+		mol     string
+		ansatz  string
+		samples int
+		eval    backend.Evaluator
+	}
+	h2 := problem.H2()
+	lih := problem.LiH()
+	tlH2, err := ansatz.TwoLocal(2, 1) // 4 params
+	if err != nil {
+		return nil, err
+	}
+	tlLiH, err := ansatz.TwoLocal(4, 1) // 8 params
+	if err != nil {
+		return nil, err
+	}
+	ucH2, err := ansatz.UCCSDH2()
+	if err != nil {
+		return nil, err
+	}
+	ucLiH, err := ansatz.UCCSDLiH()
+	if err != nil {
+		return nil, err
+	}
+	mk := func(p *problem.Problem, a *ansatz.Ansatz) backend.Evaluator {
+		ev, err2 := backend.NewStateVector(p, a)
+		if err2 != nil {
+			err = err2
+		}
+		return ev
+	}
+	rows := []row{
+		{"H2", "Two-local", 14, mk(h2, tlH2)},
+		{"LiH", "Two-local", 7, mk(lih, tlLiH)},
+		{"H2", "UCCSD", 14, mk(h2, ucH2)},
+		{"H2", "UCCSD", 50, mk(h2, ucH2)},
+		{"LiH", "UCCSD", 7, mk(lih, ucLiH)},
+	}
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "table3",
+		Title:   "Reconstruction errors (NRMSE) for H2 and LiH molecules",
+		Headers: []string{"molecule", "ansatz", "#qubits", "#params", "#samples/dim", "NRMSE"},
+		Notes:   fmt.Sprintf("median over %d random 2-parameter slices; sampling fraction 30%%", repeats),
+	}
+	for _, r := range rows {
+		var errs []float64
+		for k := 0; k < repeats; k++ {
+			e, err := reconSliceError(r.eval, rng, r.samples, -math.Pi, math.Pi, 0.3, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			errs = append(errs, e)
+		}
+		nq := 2
+		if r.mol == "LiH" {
+			nq = 4
+		}
+		t.Rows = append(t.Rows, []string{
+			r.mol, r.ansatz, fmt.Sprint(nq), fmt.Sprint(r.eval.NumParams()),
+			fmt.Sprint(r.samples), f(median(errs)),
+		})
+	}
+	return t, nil
+}
+
+// Table4 reproduces the paper's Table 4: the fraction of DCT coefficients
+// holding 99% of the spectral energy, across problems and ansatzes —
+// the sparsity evidence that justifies compressed sensing.
+func Table4(cfg Config) (*Table, error) {
+	repeats := 12
+	if cfg.Quick {
+		repeats = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	t := &Table{
+		ID:      "table4",
+		Title:   "Fraction of DCT coefficients preserving 99% of signal energy",
+		Headers: []string{"problem", "QAOA", "Two-local", "UCCSD"},
+		Notes:   fmt.Sprintf("mean over %d random 2-parameter slices, 32 samples/dim", repeats),
+	}
+	sparsity := func(eval backend.Evaluator, lo, hi float64) (float64, error) {
+		var fr []float64
+		for k := 0; k < repeats; k++ {
+			sl := newTwoParamSlice(eval, rng, lo, hi)
+			grid, err := sliceGrid(32, lo, hi)
+			if err != nil {
+				return 0, err
+			}
+			l, err := landscape.Generate(grid, sl.Evaluate, cfg.Workers)
+			if err != nil {
+				return 0, err
+			}
+			v, err := landscape.DCTEnergyFraction(l, 0.99)
+			if err != nil {
+				return 0, err
+			}
+			fr = append(fr, v)
+		}
+		return mean(fr), nil
+	}
+
+	for _, c := range []table2Case{
+		{"3reg", 4, 8, 0}, {"3reg", 6, 6, 0}, {"sk", 4, 8, 0}, {"sk", 6, 6, 0},
+	} {
+		qe, te, err := buildCaseEvaluators(c.problemKind, c.qubits, c.params, rng)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := sparsity(qe, -math.Pi/2, math.Pi/2)
+		if err != nil {
+			return nil, err
+		}
+		st, err := sparsity(te, -math.Pi, math.Pi)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("3-reg MaxCut (n=%d)", c.qubits)
+		if c.problemKind == "sk" {
+			name = fmt.Sprintf("SK Problem (n=%d)", c.qubits)
+		}
+		t.Rows = append(t.Rows, []string{name, pct(sq), pct(st), "-"})
+	}
+
+	// Molecules.
+	h2 := problem.H2()
+	lih := problem.LiH()
+	tlH2, _ := ansatz.TwoLocal(2, 1)
+	tlLiH, _ := ansatz.TwoLocal(4, 1)
+	ucH2, _ := ansatz.UCCSDH2()
+	ucLiH, _ := ansatz.UCCSDLiH()
+	evTLH2, err := backend.NewStateVector(h2, tlH2)
+	if err != nil {
+		return nil, err
+	}
+	evTLLiH, err := backend.NewStateVector(lih, tlLiH)
+	if err != nil {
+		return nil, err
+	}
+	evUCH2, err := backend.NewStateVector(h2, ucH2)
+	if err != nil {
+		return nil, err
+	}
+	evUCLiH, err := backend.NewStateVector(lih, ucLiH)
+	if err != nil {
+		return nil, err
+	}
+	sH2TL, err := sparsity(evTLH2, -math.Pi, math.Pi)
+	if err != nil {
+		return nil, err
+	}
+	sH2UC, err := sparsity(evUCH2, -math.Pi, math.Pi)
+	if err != nil {
+		return nil, err
+	}
+	sLiHTL, err := sparsity(evTLLiH, -math.Pi, math.Pi)
+	if err != nil {
+		return nil, err
+	}
+	sLiHUC, err := sparsity(evUCLiH, -math.Pi, math.Pi)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"H2 (n=2)", "-", pct(sH2TL), pct(sH2UC)},
+		[]string{"LiH (n=4)", "-", pct(sLiHTL), pct(sLiHUC)},
+	)
+	return t, nil
+}

@@ -1,0 +1,149 @@
+// Package interp implements natural cubic spline interpolation in one and
+// two dimensions. OSCAR interpolates reconstructed landscapes so classical
+// optimizers can query arbitrary continuous parameter values without running
+// circuits (Section 7 of the paper uses rectangular bivariate splines).
+package interp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Spline is a natural cubic spline through (x_i, y_i) knots.
+type Spline struct {
+	x, y []float64
+	m    []float64 // second derivatives at knots
+}
+
+// NewSpline fits a natural cubic spline. xs must be strictly increasing and
+// len(xs) == len(ys) >= 2.
+func NewSpline(xs, ys []float64) (*Spline, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return nil, fmt.Errorf("interp: %d xs but %d ys", n, len(ys))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("interp: need >= 2 knots, got %d", n)
+	}
+	for i := 1; i < n; i++ {
+		if !(xs[i] > xs[i-1]) {
+			return nil, fmt.Errorf("interp: xs not strictly increasing at %d", i)
+		}
+	}
+	s := &Spline{
+		x: append([]float64(nil), xs...),
+		y: append([]float64(nil), ys...),
+		m: make([]float64, n),
+	}
+	if n == 2 {
+		return s, nil // linear
+	}
+	// Solve the tridiagonal system for natural boundary conditions.
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	b[0], b[n-1] = 1, 1
+	for i := 1; i < n-1; i++ {
+		hPrev := xs[i] - xs[i-1]
+		hNext := xs[i+1] - xs[i]
+		a[i] = hPrev
+		b[i] = 2 * (hPrev + hNext)
+		c[i] = hNext
+		d[i] = 6 * ((ys[i+1]-ys[i])/hNext - (ys[i]-ys[i-1])/hPrev)
+	}
+	// Thomas algorithm.
+	for i := 1; i < n; i++ {
+		w := a[i] / b[i-1]
+		b[i] -= w * c[i-1]
+		d[i] -= w * d[i-1]
+	}
+	s.m[n-1] = d[n-1] / b[n-1]
+	for i := n - 2; i >= 0; i-- {
+		s.m[i] = (d[i] - c[i]*s.m[i+1]) / b[i]
+	}
+	return s, nil
+}
+
+// At evaluates the spline, clamping queries outside the knot range to the
+// boundary segments (constant extrapolation of position is avoided — the
+// boundary cubic is extended).
+func (s *Spline) At(x float64) float64 {
+	n := len(s.x)
+	if n == 2 {
+		t := (x - s.x[0]) / (s.x[1] - s.x[0])
+		return s.y[0]*(1-t) + s.y[1]*t
+	}
+	i := sort.SearchFloat64s(s.x, x)
+	switch {
+	case i <= 0:
+		i = 1
+	case i >= n:
+		i = n - 1
+	}
+	lo, hi := i-1, i
+	h := s.x[hi] - s.x[lo]
+	A := (s.x[hi] - x) / h
+	B := (x - s.x[lo]) / h
+	return A*s.y[lo] + B*s.y[hi] +
+		((A*A*A-A)*s.m[lo]+(B*B*B-B)*s.m[hi])*h*h/6
+}
+
+// Bicubic is a tensor-product natural cubic spline on a rectangular grid,
+// the "rectangular bivariate spline" of the paper's Section 7.
+type Bicubic struct {
+	xs, ys []float64 // row coordinates (len rows), column coordinates (len cols)
+	rows   []*Spline // one spline per grid row, along the column axis
+}
+
+// NewBicubic fits a bicubic interpolant to row-major data of shape
+// len(xs) x len(ys). xs are the row-axis coordinates and ys the column-axis
+// coordinates, both strictly increasing.
+func NewBicubic(xs, ys, data []float64) (*Bicubic, error) {
+	rows, cols := len(xs), len(ys)
+	if rows*cols != len(data) {
+		return nil, fmt.Errorf("interp: %d values for %dx%d grid", len(data), rows, cols)
+	}
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("interp: grid must be at least 2x2, got %dx%d", rows, cols)
+	}
+	b := &Bicubic{
+		xs:   append([]float64(nil), xs...),
+		ys:   append([]float64(nil), ys...),
+		rows: make([]*Spline, rows),
+	}
+	for r := 0; r < rows; r++ {
+		sp, err := NewSpline(ys, data[r*cols:(r+1)*cols])
+		if err != nil {
+			return nil, err
+		}
+		b.rows[r] = sp
+	}
+	return b, nil
+}
+
+// At evaluates the surface at (x, y): spline along columns within each row,
+// then a spline across rows.
+func (b *Bicubic) At(x, y float64) float64 {
+	col := make([]float64, len(b.rows))
+	for r, sp := range b.rows {
+		col[r] = sp.At(y)
+	}
+	cross, err := NewSpline(b.xs, col)
+	if err != nil {
+		// Unreachable: xs was validated at construction.
+		return math.NaN()
+	}
+	return cross.At(x)
+}
+
+// Gradient estimates the surface gradient at (x, y) by central differences
+// with steps proportional to the grid spacing.
+func (b *Bicubic) Gradient(x, y float64) (dx, dy float64) {
+	hx := (b.xs[len(b.xs)-1] - b.xs[0]) / float64(len(b.xs)-1) / 10
+	hy := (b.ys[len(b.ys)-1] - b.ys[0]) / float64(len(b.ys)-1) / 10
+	dx = (b.At(x+hx, y) - b.At(x-hx, y)) / (2 * hx)
+	dy = (b.At(x, y+hy) - b.At(x, y-hy)) / (2 * hy)
+	return dx, dy
+}

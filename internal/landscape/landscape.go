@@ -1,0 +1,333 @@
+// Package landscape provides the cost-landscape data model of OSCAR: grids
+// over circuit-parameter space, dense landscapes, generation by (parallel)
+// grid scan, the evaluation metrics of the paper (NRMSE, roughness,
+// variance-of-gradient, variance, DCT sparsity), and the 4-D -> 2-D reshape
+// used for depth-2 QAOA.
+package landscape
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Axis is one landscape dimension: N equidistant samples over [Min, Max]
+// inclusive of both endpoints (N >= 2), matching the grid-search definition
+// of Table 1.
+type Axis struct {
+	Name     string
+	Min, Max float64
+	N        int
+}
+
+// Values returns the axis sample positions.
+func (a Axis) Values() []float64 {
+	v := make([]float64, a.N)
+	for i := range v {
+		v[i] = a.Value(i)
+	}
+	return v
+}
+
+// Value returns the i-th sample position.
+func (a Axis) Value(i int) float64 {
+	if a.N == 1 {
+		return a.Min
+	}
+	return a.Min + (a.Max-a.Min)*float64(i)/float64(a.N-1)
+}
+
+// Step returns the sample spacing.
+func (a Axis) Step() float64 {
+	if a.N <= 1 {
+		return 0
+	}
+	return (a.Max - a.Min) / float64(a.N-1)
+}
+
+func (a Axis) validate() error {
+	if a.N < 2 {
+		return fmt.Errorf("landscape: axis %q needs >= 2 samples, got %d", a.Name, a.N)
+	}
+	if !(a.Max > a.Min) {
+		return fmt.Errorf("landscape: axis %q has empty range [%g,%g]", a.Name, a.Min, a.Max)
+	}
+	return nil
+}
+
+// Grid is the Cartesian product of axes; flat indices are row-major with the
+// last axis fastest.
+type Grid struct {
+	Axes []Axis
+}
+
+// NewGrid validates and builds a grid.
+func NewGrid(axes ...Axis) (*Grid, error) {
+	if len(axes) == 0 {
+		return nil, errors.New("landscape: grid needs at least one axis")
+	}
+	for _, a := range axes {
+		if err := a.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Grid{Axes: axes}, nil
+}
+
+// Size returns the total number of grid points.
+func (g *Grid) Size() int {
+	n := 1
+	for _, a := range g.Axes {
+		n *= a.N
+	}
+	return n
+}
+
+// Dims returns the per-axis sample counts.
+func (g *Grid) Dims() []int {
+	d := make([]int, len(g.Axes))
+	for i, a := range g.Axes {
+		d[i] = a.N
+	}
+	return d
+}
+
+// Point returns the parameter vector of flat index idx.
+func (g *Grid) Point(idx int) []float64 {
+	p := make([]float64, len(g.Axes))
+	for i := len(g.Axes) - 1; i >= 0; i-- {
+		a := g.Axes[i]
+		p[i] = a.Value(idx % a.N)
+		idx /= a.N
+	}
+	return p
+}
+
+// Index returns the flat index of multi-index mi.
+func (g *Grid) Index(mi ...int) int {
+	if len(mi) != len(g.Axes) {
+		panic(fmt.Sprintf("landscape: %d indices for %d axes", len(mi), len(g.Axes)))
+	}
+	idx := 0
+	for i, a := range g.Axes {
+		if mi[i] < 0 || mi[i] >= a.N {
+			panic(fmt.Sprintf("landscape: index %d out of range for axis %d", mi[i], i))
+		}
+		idx = idx*a.N + mi[i]
+	}
+	return idx
+}
+
+// Landscape couples a grid with its cost values.
+type Landscape struct {
+	Grid *Grid
+	Data []float64
+}
+
+// New allocates an all-zero landscape on g.
+func New(g *Grid) *Landscape {
+	return &Landscape{Grid: g, Data: make([]float64, g.Size())}
+}
+
+// At returns the value at a multi-index.
+func (l *Landscape) At(mi ...int) float64 { return l.Data[l.Grid.Index(mi...)] }
+
+// Min returns the minimum value and its flat index.
+func (l *Landscape) Min() (float64, int) {
+	best, arg := math.Inf(1), -1
+	for i, v := range l.Data {
+		if v < best {
+			best, arg = v, i
+		}
+	}
+	return best, arg
+}
+
+// Max returns the maximum value and its flat index.
+func (l *Landscape) Max() (float64, int) {
+	best, arg := math.Inf(-1), -1
+	for i, v := range l.Data {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return best, arg
+}
+
+// Clone deep-copies the landscape (sharing the immutable grid).
+func (l *Landscape) Clone() *Landscape {
+	d := make([]float64, len(l.Data))
+	copy(d, l.Data)
+	return &Landscape{Grid: l.Grid, Data: d}
+}
+
+// Shape2D returns (rows, cols) for a 2-axis landscape.
+func (l *Landscape) Shape2D() (rows, cols int, err error) {
+	if len(l.Grid.Axes) != 2 {
+		return 0, 0, fmt.Errorf("landscape: %d axes, want 2", len(l.Grid.Axes))
+	}
+	return l.Grid.Axes[0].N, l.Grid.Axes[1].N, nil
+}
+
+// Reshape4DTo2D converts a 4-axis landscape with axes (b1, b2, g1, g2) into
+// the (b1*b2) x (g1*g2) 2-D landscape the paper reconstructs for depth-2
+// QAOA. Because flat indices are row-major with the last axis fastest, the
+// data layout is unchanged — only the axes metadata is rewritten; the
+// resulting synthetic axes record index positions rather than parameter
+// values.
+func (l *Landscape) Reshape4DTo2D() (*Landscape, error) {
+	if len(l.Grid.Axes) != 4 {
+		return nil, fmt.Errorf("landscape: reshape needs 4 axes, got %d", len(l.Grid.Axes))
+	}
+	a := l.Grid.Axes
+	rows := a[0].N * a[1].N
+	cols := a[2].N * a[3].N
+	g, err := NewGrid(
+		Axis{Name: a[0].Name + "*" + a[1].Name, Min: 0, Max: float64(rows - 1), N: rows},
+		Axis{Name: a[2].Name + "*" + a[3].Name, Min: 0, Max: float64(cols - 1), N: cols},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Landscape{Grid: g, Data: l.Data}, nil
+}
+
+// EvalFunc computes the cost at a parameter vector. Implementations must be
+// safe for concurrent use (landscape generation fans out across workers).
+type EvalFunc func(params []float64) (float64, error)
+
+// Generate scans the full grid — the expensive dense "ground truth"
+// computation OSCAR avoids — running eval on workers goroutines (0 means
+// GOMAXPROCS).
+func Generate(g *Grid, eval EvalFunc, workers int) (*Landscape, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	l := New(g)
+	total := g.Size()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				v, err := eval(g.Point(idx))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				l.Data[idx] = v
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return l, nil
+}
+
+// Sample evaluates the grid at the given flat indices only — OSCAR's
+// circuit-execution phase — in parallel.
+func Sample(g *Grid, eval EvalFunc, idx []int, workers int) ([]float64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]float64, len(idx))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				v, err := eval(g.Point(idx[j]))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[j] = v
+			}
+		}()
+	}
+	for j := range idx {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// quartiles returns (Q1, Q3) with linear interpolation.
+func quartiles(x []float64) (q1, q3 float64) {
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	return quantile(s, 0.25), quantile(s, 0.75)
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// NRMSE is the paper's Equation 1: RMSE between the true landscape x and
+// reconstruction y, normalized by the interquartile range of x.
+func NRMSE(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("landscape: NRMSE length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, errors.New("landscape: NRMSE of empty landscape")
+	}
+	var sum float64
+	for i := range x {
+		d := x[i] - y[i]
+		sum += d * d
+	}
+	rmse := math.Sqrt(sum / float64(len(x)))
+	q1, q3 := quartiles(x)
+	iqr := q3 - q1
+	if iqr == 0 {
+		if rmse == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return rmse / iqr, nil
+}

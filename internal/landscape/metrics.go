@@ -1,0 +1,145 @@
+package landscape
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dct"
+)
+
+// rowsOf iterates a multi-dimensional landscape as 1-D lines along one axis,
+// calling fn with each extracted line. Used by the directional metrics,
+// which the paper defines on 1-D slices and averages across dimensions.
+func rowsOf(dims []int, data []float64, axis int, fn func(line []float64)) {
+	n := dims[axis]
+	// stride of the axis, and count of lines.
+	stride := 1
+	for i := axis + 1; i < len(dims); i++ {
+		stride *= dims[i]
+	}
+	total := len(data)
+	lines := total / n
+	line := make([]float64, n)
+	for l := 0; l < lines; l++ {
+		// Decompose l into (outer, inner) around the axis.
+		inner := l % stride
+		outer := l / stride
+		base := outer*stride*n + inner
+		for i := 0; i < n; i++ {
+			line[i] = data[base+i*stride]
+		}
+		fn(line)
+	}
+}
+
+// SecondDerivative is the paper's Equation 2 roughness metric,
+// D2(x) = sum_i (x_i - 2 x_{i-1} + x_{i-2})^2 / 4 per 1-D line, averaged
+// over all lines of all axes.
+func SecondDerivative(l *Landscape) float64 {
+	dims := l.Grid.Dims()
+	var total float64
+	var count int
+	for axis := range dims {
+		if dims[axis] < 3 {
+			continue
+		}
+		rowsOf(dims, l.Data, axis, func(line []float64) {
+			var s float64
+			for i := 2; i < len(line); i++ {
+				d := line[i] - 2*line[i-1] + line[i-2]
+				s += d * d / 4
+			}
+			total += s
+			count++
+		})
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// VarianceOfGradient is the paper's Equation 3 flatness metric,
+// VoG(x) = Var[x_i - x_{i-1}] per line, averaged over all lines of all axes.
+// Near-zero VoG indicates a barren plateau.
+func VarianceOfGradient(l *Landscape) float64 {
+	dims := l.Grid.Dims()
+	var total float64
+	var count int
+	for axis := range dims {
+		if dims[axis] < 2 {
+			continue
+		}
+		rowsOf(dims, l.Data, axis, func(line []float64) {
+			diffs := make([]float64, len(line)-1)
+			for i := 1; i < len(line); i++ {
+				diffs[i-1] = line[i] - line[i-1]
+			}
+			total += variance(diffs)
+			count++
+		})
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Variance is the paper's Equation 4: the plain variance of the landscape.
+func Variance(l *Landscape) float64 { return variance(l.Data) }
+
+func variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	var s float64
+	for _, v := range x {
+		d := v - mean
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// DCTEnergyFraction computes the Table 4 sparsity measure: the smallest
+// fraction of 2-D DCT coefficients whose squared magnitudes hold the given
+// fraction (e.g. 0.99) of the landscape's total spectral energy. The DC
+// coefficient is excluded from both numerator and denominator so the measure
+// reflects the structure of the landscape rather than its mean offset.
+func DCTEnergyFraction(l *Landscape, energy float64) (float64, error) {
+	if energy <= 0 || energy > 1 {
+		return 0, fmt.Errorf("landscape: energy fraction %g out of (0,1]", energy)
+	}
+	rows, cols, err := l.Shape2D()
+	if err != nil {
+		return 0, err
+	}
+	coeffs := make([]float64, len(l.Data))
+	dct.NewPlan2D(rows, cols).Forward(coeffs, l.Data)
+	mags := make([]float64, 0, len(coeffs)-1)
+	var total float64
+	for i, c := range coeffs {
+		if i == 0 {
+			continue // DC
+		}
+		e := c * c
+		mags = append(mags, e)
+		total += e
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(mags)))
+	var acc float64
+	for k, e := range mags {
+		acc += e
+		if acc >= energy*total {
+			return float64(k+1) / float64(len(coeffs)), nil
+		}
+	}
+	return 1, nil
+}

@@ -1,0 +1,38 @@
+package landscape
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// serialized is the on-disk JSON form of a landscape.
+type serialized struct {
+	Axes []Axis    `json:"axes"`
+	Data []float64 `json:"data"`
+}
+
+// Save writes the landscape as JSON. Dense ground-truth landscapes are
+// expensive to regenerate (the whole point of the paper), so debugging
+// sessions persist them between runs.
+func (l *Landscape) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(serialized{Axes: l.Grid.Axes, Data: l.Data})
+}
+
+// Load reads a landscape written by Save, validating shape consistency.
+func Load(r io.Reader) (*Landscape, error) {
+	var s serialized
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("landscape: decode: %w", err)
+	}
+	g, err := NewGrid(s.Axes...)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Data) != g.Size() {
+		return nil, fmt.Errorf("landscape: %d values for a %d-point grid", len(s.Data), g.Size())
+	}
+	return &Landscape{Grid: g, Data: s.Data}, nil
+}

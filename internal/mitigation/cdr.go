@@ -1,0 +1,136 @@
+package mitigation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/backend"
+)
+
+// CDR implements Clifford Data Regression (Czarnik et al., 2021), the third
+// mitigation family the paper surveys. The method trains a linear map from
+// noisy to exact expectation values on circuits that are classically
+// simulable — parameter vectors snapped to Clifford angles (multiples of
+// pi/2) — and applies the map to the target circuit's noisy value.
+type CDR struct {
+	name  string
+	noisy backend.Evaluator
+	slope float64
+	icept float64
+	r2    float64
+	pairs int
+}
+
+// CDROptions configures training.
+type CDROptions struct {
+	// TrainingCircuits is the number of near-Clifford training points
+	// (default 16).
+	TrainingCircuits int
+	// Seed drives training-point selection.
+	Seed int64
+	// AngleGrid is the near-Clifford angle spacing (default pi/4). Exact
+	// Clifford points (multiples of pi/2) sit where QAOA landscapes are
+	// identically flat, giving a degenerate training set, so the default
+	// follows the standard near-Clifford practice of admitting one
+	// T-gate-like angle per rotation.
+	AngleGrid float64
+}
+
+func (o *CDROptions) fill() {
+	if o.TrainingCircuits == 0 {
+		o.TrainingCircuits = 16
+	}
+	if o.AngleGrid == 0 {
+		o.AngleGrid = math.Pi / 4
+	}
+}
+
+// NewCDR trains a CDR mitigator. exact evaluates training circuits without
+// noise (classically cheap at Clifford points); noisy is the device. Both
+// must share parameter arity.
+func NewCDR(exact, noisy backend.Evaluator, opt CDROptions) (*CDR, error) {
+	if exact.NumParams() != noisy.NumParams() {
+		return nil, fmt.Errorf("mitigation: exact (%d params) and noisy (%d params) evaluators disagree",
+			exact.NumParams(), noisy.NumParams())
+	}
+	opt.fill()
+	if opt.TrainingCircuits < 2 {
+		return nil, fmt.Errorf("mitigation: CDR needs >= 2 training circuits, got %d", opt.TrainingCircuits)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := exact.NumParams()
+	var xs, ys []float64
+	for k := 0; k < opt.TrainingCircuits; k++ {
+		params := make([]float64, n)
+		for i := range params {
+			// Clifford points in [-pi, pi].
+			params[i] = float64(rng.Intn(5)-2) * opt.AngleGrid
+		}
+		yNoisy, err := noisy.Evaluate(params)
+		if err != nil {
+			return nil, fmt.Errorf("mitigation: CDR training (noisy): %w", err)
+		}
+		yExact, err := exact.Evaluate(params)
+		if err != nil {
+			return nil, fmt.Errorf("mitigation: CDR training (exact): %w", err)
+		}
+		xs = append(xs, yNoisy)
+		ys = append(ys, yExact)
+	}
+	slope, icept := leastSquaresLine(xs, ys)
+	if slope == 0 {
+		// Degenerate training set (constant noisy values): fall back to
+		// the identity map rather than collapsing everything to a point.
+		slope = 1
+		icept = 0
+	}
+	// Fit quality.
+	var meanY float64
+	for _, y := range ys {
+		meanY += y
+	}
+	meanY /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + icept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return &CDR{
+		name:  fmt.Sprintf("cdr(%s)", noisy.Name()),
+		noisy: noisy,
+		slope: slope,
+		icept: icept,
+		r2:    r2,
+		pairs: opt.TrainingCircuits,
+	}, nil
+}
+
+// Name implements backend.Evaluator.
+func (c *CDR) Name() string { return c.name }
+
+// NumParams implements backend.Evaluator.
+func (c *CDR) NumParams() int { return c.noisy.NumParams() }
+
+// R2 reports the training fit quality.
+func (c *CDR) R2() float64 { return c.r2 }
+
+// Model returns the fitted (slope, intercept).
+func (c *CDR) Model() (slope, intercept float64) { return c.slope, c.icept }
+
+// Evaluate implements backend.Evaluator: run the noisy device and apply the
+// learned correction.
+func (c *CDR) Evaluate(params []float64) (float64, error) {
+	v, err := c.noisy.Evaluate(params)
+	if err != nil {
+		return 0, err
+	}
+	return c.slope*v + c.icept, nil
+}
+
+var _ backend.Evaluator = (*CDR)(nil)

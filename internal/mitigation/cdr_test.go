@@ -1,0 +1,135 @@
+package mitigation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ansatz"
+	"repro/internal/backend"
+	"repro/internal/noise"
+	"repro/internal/problem"
+)
+
+func TestCDRCorrectsDepolarizingBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	p, err := problem.Random3RegularMaxCut(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := backend.NewAnalyticQAOA(p, noise.Ideal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := backend.NewAnalyticQAOA(p, noise.Fig9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdr, err := NewCDR(exact, noisy, CDROptions{TrainingCircuits: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdr.R2() < 0.99 {
+		t.Fatalf("depolarizing devices are affinely related; CDR R2=%g", cdr.R2())
+	}
+	// On held-out target parameters, CDR must beat raw noisy values.
+	var rawErr, cdrErr float64
+	for i := 0; i < 30; i++ {
+		params := []float64{(rng.Float64() - 0.5) * math.Pi / 2, (rng.Float64() - 0.5) * math.Pi}
+		truth, _ := exact.Evaluate(params)
+		raw, _ := noisy.Evaluate(params)
+		corrected, err := cdr.Evaluate(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawErr += math.Abs(raw - truth)
+		cdrErr += math.Abs(corrected - truth)
+	}
+	if cdrErr >= rawErr/3 {
+		t.Fatalf("CDR barely helped: corrected error %g vs raw %g", cdrErr, rawErr)
+	}
+}
+
+func TestCDRValidation(t *testing.T) {
+	f2 := &backend.Func{Label: "a", Params: 2, F: func(p []float64) (float64, error) { return p[0], nil }}
+	f3 := &backend.Func{Label: "b", Params: 3, F: func(p []float64) (float64, error) { return p[0], nil }}
+	if _, err := NewCDR(f2, f3, CDROptions{}); err == nil {
+		t.Error("want error for arity mismatch")
+	}
+	if _, err := NewCDR(f2, f2, CDROptions{TrainingCircuits: 1}); err == nil {
+		t.Error("want error for single training circuit")
+	}
+}
+
+func TestCDRDegenerateTrainingFallsBackToIdentity(t *testing.T) {
+	constEval := &backend.Func{Label: "const", Params: 2, F: func(p []float64) (float64, error) { return 1.0, nil }}
+	varying := &backend.Func{Label: "vary", Params: 2, F: func(p []float64) (float64, error) { return p[0], nil }}
+	cdr, err := NewCDR(varying, constEval, CDROptions{TrainingCircuits: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope, icept := cdr.Model()
+	if slope != 1 || icept != 0 {
+		t.Fatalf("degenerate training should fall back to identity, got %g, %g", slope, icept)
+	}
+	v, err := cdr.Evaluate([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("identity fallback should pass through: %g", v)
+	}
+}
+
+func TestCDRMetadata(t *testing.T) {
+	rng := rand.New(rand.NewSource(192))
+	p, _ := problem.Random3RegularMaxCut(8, rng)
+	exact, _ := backend.NewAnalyticQAOA(p, noise.Ideal())
+	noisy, _ := backend.NewAnalyticQAOA(p, noise.QPU2())
+	cdr, err := NewCDR(exact, noisy, CDROptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdr.NumParams() != 2 {
+		t.Fatalf("NumParams %d", cdr.NumParams())
+	}
+	if cdr.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+// TestCDRWorksWithDensityBackend exercises CDR against the exact
+// density-matrix device, the configuration a real user would run.
+func TestCDRWorksWithDensityBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	p, err := problem.Random3RegularMaxCut(4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ansatz.QAOA(p.Graph, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := backend.NewStateVector(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := backend.NewDensity(p, a, noise.Profile{Name: "dev", P1: 0.004, P2: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdr, err := NewCDR(exact, noisy, CDROptions{TrainingCircuits: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []float64{0.3, -0.5}
+	truth, _ := exact.Evaluate(params)
+	raw, _ := noisy.Evaluate(params)
+	corrected, err := cdr.Evaluate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(corrected-truth) >= math.Abs(raw-truth) {
+		t.Fatalf("CDR did not improve: truth %g raw %g corrected %g", truth, raw, corrected)
+	}
+}

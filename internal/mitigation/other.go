@@ -1,0 +1,127 @@
+package mitigation
+
+import (
+	"fmt"
+
+	"repro/internal/qsim"
+)
+
+// ReadoutMitigator inverts per-qubit measurement confusion matrices — the
+// paper's "shot frugal" Qubit Readout Mitigation: a post-processing step
+// that filters measurement errors without extra circuit executions.
+type ReadoutMitigator struct {
+	n        int
+	p01, p10 float64
+}
+
+// NewReadoutMitigator builds a mitigator for n qubits with confusion rates
+// p01 = P(read 1 | true 0) and p10 = P(read 0 | true 1).
+func NewReadoutMitigator(n int, p01, p10 float64) (*ReadoutMitigator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mitigation: invalid qubit count %d", n)
+	}
+	if p01 < 0 || p10 < 0 || p01+p10 >= 1 {
+		return nil, fmt.Errorf("mitigation: confusion matrix p01=%g p10=%g not invertible", p01, p10)
+	}
+	return &ReadoutMitigator{n: n, p01: p01, p10: p10}, nil
+}
+
+// Apply inverts the confusion channel on a measured distribution. The
+// inverse can produce small negative quasi-probabilities, which are clipped
+// and renormalized (the standard practice).
+func (r *ReadoutMitigator) Apply(probs []float64) ([]float64, error) {
+	if len(probs) != 1<<uint(r.n) {
+		return nil, fmt.Errorf("mitigation: distribution length %d for %d qubits", len(probs), r.n)
+	}
+	// Per-qubit inverse of [[1-p01, p10], [p01, 1-p10]].
+	det := 1 - r.p01 - r.p10
+	inv00 := (1 - r.p10) / det
+	inv01 := -r.p10 / det
+	inv10 := -r.p01 / det
+	inv11 := (1 - r.p01) / det
+
+	cur := append([]float64(nil), probs...)
+	next := make([]float64, len(probs))
+	for q := 0; q < r.n; q++ {
+		bit := 1 << uint(q)
+		for i := range next {
+			next[i] = 0
+		}
+		for i, p := range cur {
+			if p == 0 {
+				continue
+			}
+			if i&bit == 0 {
+				next[i] += p * inv00
+				next[i|bit] += p * inv10
+			} else {
+				next[i&^bit] += p * inv01
+				next[i] += p * inv11
+			}
+		}
+		cur, next = next, cur
+	}
+	// Clip negatives and renormalize.
+	var sum float64
+	for i, p := range cur {
+		if p < 0 {
+			cur[i] = 0
+		}
+		sum += cur[i]
+	}
+	if sum > 0 {
+		for i := range cur {
+			cur[i] /= sum
+		}
+	}
+	return cur, nil
+}
+
+// MitigateExpectation applies Z-basis readout mitigation to a raw diagonal
+// expectation: for symmetric confusion the Z damping factor is
+// (1 - p01 - p10) per measured qubit, so the inverse rescales each weight-w
+// term by (1-p01-p10)^-w. weight is the Pauli weight of the observable.
+func (r *ReadoutMitigator) MitigateExpectation(raw float64, weight int) float64 {
+	f := 1 - r.p01 - r.p10
+	scale := 1.0
+	for i := 0; i < weight; i++ {
+		scale /= f
+	}
+	return raw * scale
+}
+
+// InsertDD implements the paper's shot-frugal Dynamical Decoupling pass:
+// it appends an X-X echo pair on every idle qubit (a qubit not touched by
+// any gate) so idle spectator qubits are refocused. The inserted pairs are
+// identity in the noiseless circuit, so correctness is unchanged; on
+// hardware (and in our density-matrix model with dephasing-dominated noise)
+// they suppress idle-qubit error. It returns the padded circuit and the
+// number of echo pairs inserted.
+func InsertDD(c *qsim.Circuit) (*qsim.Circuit, int) {
+	touched := make([]bool, c.N())
+	for _, g := range c.Gates() {
+		for _, q := range g.Qubits {
+			touched[q] = true
+		}
+		if g.Kind == qsim.GatePauliRot {
+			for q := 0; q < g.Pauli.N(); q++ {
+				if g.Pauli.At(q) != 'I' {
+					touched[q] = true
+				}
+			}
+		}
+	}
+	out := qsim.NewCircuit(c.N())
+	for _, g := range c.Gates() {
+		appendGate(out, g)
+	}
+	pairs := 0
+	for q := 0; q < c.N(); q++ {
+		if !touched[q] {
+			out.X(q)
+			out.X(q)
+			pairs++
+		}
+	}
+	return out, pairs
+}

@@ -1,0 +1,114 @@
+package mitigation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qsim"
+)
+
+func TestReadoutMitigatorInvertsChannel(t *testing.T) {
+	n := 3
+	rm, err := NewReadoutMitigator(n, 0.04, 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A known distribution pushed through the confusion channel then
+	// mitigated should come back.
+	truth := []float64{0.5, 0, 0, 0.25, 0, 0.25, 0, 0}
+	noisy, err := qsim.ApplyReadoutError(truth, n, 0.04, 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := rm.Apply(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(recovered[i]-truth[i]) > 1e-9 {
+			t.Fatalf("recovered[%d]=%g want %g", i, recovered[i], truth[i])
+		}
+	}
+}
+
+func TestReadoutMitigatorClipsNegatives(t *testing.T) {
+	rm, err := NewReadoutMitigator(1, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A distribution inconsistent with the channel produces
+	// quasi-probabilities; the result must still be a distribution.
+	out, err := rm.Apply([]float64{0.02, 0.98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range out {
+		if p < 0 {
+			t.Fatalf("negative probability %g", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum %g", sum)
+	}
+}
+
+func TestReadoutMitigatorValidation(t *testing.T) {
+	if _, err := NewReadoutMitigator(0, 0.1, 0.1); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewReadoutMitigator(2, 0.6, 0.5); err == nil {
+		t.Error("want error for non-invertible confusion")
+	}
+	rm, _ := NewReadoutMitigator(2, 0.05, 0.05)
+	if _, err := rm.Apply([]float64{1, 0}); err == nil {
+		t.Error("want error for wrong distribution size")
+	}
+}
+
+func TestMitigateExpectation(t *testing.T) {
+	rm, _ := NewReadoutMitigator(4, 0.05, 0.05)
+	raw := 0.81 // a weight-2 observable damped by 0.9 per qubit
+	if got := rm.MitigateExpectation(raw, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("mitigated %g want 1", got)
+	}
+	if got := rm.MitigateExpectation(raw, 0); got != raw {
+		t.Fatalf("weight-0 should be unchanged, got %g", got)
+	}
+}
+
+func TestInsertDD(t *testing.T) {
+	// Circuit touching qubits 0 and 1 of a 4-qubit register: qubits 2,3
+	// idle, so two echo pairs are inserted.
+	c := qsim.NewCircuit(4).H(0).CNOT(0, 1)
+	padded, pairs := InsertDD(c)
+	if pairs != 2 {
+		t.Fatalf("pairs %d want 2", pairs)
+	}
+	if padded.Len() != c.Len()+4 {
+		t.Fatalf("padded len %d", padded.Len())
+	}
+	// The padded circuit must implement the same state.
+	s0, err := qsim.Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := qsim.Run(padded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := s0.Probabilities()
+	p1 := s1.Probabilities()
+	for i := range p0 {
+		if math.Abs(p0[i]-p1[i]) > 1e-12 {
+			t.Fatalf("DD changed the circuit at %d", i)
+		}
+	}
+	// All qubits busy: nothing inserted.
+	busy := qsim.NewCircuit(2).H(0).H(1)
+	_, pairs = InsertDD(busy)
+	if pairs != 0 {
+		t.Fatalf("pairs %d want 0", pairs)
+	}
+}

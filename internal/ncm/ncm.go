@@ -1,0 +1,86 @@
+// Package ncm implements the paper's Noise Compensation Model (Section
+// 5.1): a linear regression that maps expected cost values measured on one
+// QPU to the noise configuration of a reference QPU, so samples collected on
+// heterogeneous devices can be mixed into one noise-preserving
+// reconstruction.
+//
+// The model is justified by the depolarizing structure of device noise: a
+// depolarizing-family channel acts affinely on expectation values
+// (E -> f*E + (1-f)*tr), so expectations measured on two devices of the same
+// circuit family are related by an affine map y ≈ a*x + b, which is exactly
+// what the paper fits with 1% of the landscape's samples.
+package ncm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is the fitted affine map from a source QPU's expectations to the
+// reference QPU's.
+type Model struct {
+	// Slope and Intercept define reference ≈ Slope*source + Intercept.
+	Slope, Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+	// TrainingPairs is the number of (source, reference) pairs used.
+	TrainingPairs int
+}
+
+// Fit trains an NCM from paired measurements of the same circuit parameters
+// on the source and reference devices.
+func Fit(source, reference []float64) (*Model, error) {
+	if len(source) != len(reference) {
+		return nil, fmt.Errorf("ncm: %d source vs %d reference values", len(source), len(reference))
+	}
+	if len(source) < 2 {
+		return nil, errors.New("ncm: need at least 2 training pairs")
+	}
+	n := float64(len(source))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range source {
+		x, y := source[i], reference[i]
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return nil, fmt.Errorf("ncm: non-finite training pair (%g, %g)", x, y)
+		}
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-18 {
+		return nil, errors.New("ncm: degenerate training set (constant source values)")
+	}
+	slope := (n*sxy - sx*sy) / den
+	icept := (sy - slope*sx) / n
+
+	// R^2 against the mean predictor.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range source {
+		pred := slope*source[i] + icept
+		ssRes += (reference[i] - pred) * (reference[i] - pred)
+		ssTot += (reference[i] - meanY) * (reference[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return &Model{Slope: slope, Intercept: icept, R2: r2, TrainingPairs: len(source)}, nil
+}
+
+// Transform maps a source-device measurement into the reference device's
+// noise configuration.
+func (m *Model) Transform(v float64) float64 { return m.Slope*v + m.Intercept }
+
+// TransformAll maps a batch of measurements.
+func (m *Model) TransformAll(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = m.Transform(v)
+	}
+	return out
+}

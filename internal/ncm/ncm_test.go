@@ -1,0 +1,99 @@
+package ncm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/noise"
+	"repro/internal/problem"
+)
+
+func TestFitExactAffineRelation(t *testing.T) {
+	src := []float64{0, 1, 2, 3, 4}
+	ref := make([]float64, len(src))
+	for i, x := range src {
+		ref[i] = 0.8*x + 0.3
+	}
+	m, err := Fit(src, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Slope-0.8) > 1e-12 || math.Abs(m.Intercept-0.3) > 1e-12 {
+		t.Fatalf("fit %+v", m)
+	}
+	if math.Abs(m.R2-1) > 1e-12 {
+		t.Fatalf("R2=%g", m.R2)
+	}
+	if got := m.Transform(10); math.Abs(got-8.3) > 1e-12 {
+		t.Fatalf("Transform(10)=%g", got)
+	}
+	all := m.TransformAll([]float64{0, 10})
+	if math.Abs(all[0]-0.3) > 1e-12 || math.Abs(all[1]-8.3) > 1e-12 {
+		t.Fatalf("TransformAll=%v", all)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want error for length mismatch")
+	}
+	if _, err := Fit([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single pair")
+	}
+	if _, err := Fit([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for constant source")
+	}
+	if _, err := Fit([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("want error for NaN")
+	}
+}
+
+// TestNCMBridgesTwoNoisyDevices is the core Section 5.1 claim: expectations
+// measured on two depolarizing devices are affinely related, so a model
+// trained on a few points transfers the rest accurately.
+func TestNCMBridgesTwoNoisyDevices(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	p, err := problem.Random3RegularMaxCut(12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev1, err := backend.NewAnalyticQAOA(p, noise.QPU1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := backend.NewAnalyticQAOA(p, noise.QPU2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on a handful of random points.
+	var src, ref []float64
+	for i := 0; i < 12; i++ {
+		params := []float64{(rng.Float64() - 0.5) * math.Pi / 2, (rng.Float64() - 0.5) * math.Pi}
+		v2, _ := ev2.Evaluate(params)
+		v1, _ := ev1.Evaluate(params)
+		src = append(src, v2)
+		ref = append(ref, v1)
+	}
+	m, err := Fit(src, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 < 0.999 {
+		t.Fatalf("two depolarizing devices should be near-perfectly affine; R2=%g", m.R2)
+	}
+	// Evaluate transfer quality on held-out points.
+	var worst float64
+	for i := 0; i < 50; i++ {
+		params := []float64{(rng.Float64() - 0.5) * math.Pi / 2, (rng.Float64() - 0.5) * math.Pi}
+		v2, _ := ev2.Evaluate(params)
+		v1, _ := ev1.Evaluate(params)
+		if d := math.Abs(m.Transform(v2) - v1); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("worst transfer error %g", worst)
+	}
+}

@@ -1,0 +1,106 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestProfiles(t *testing.T) {
+	for _, p := range []Profile{Ideal(), Fig4(), Fig9(), QPU1(), QPU2(), PerthLike(), LagosLike()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if !Ideal().IsIdeal() {
+		t.Error("Ideal() not ideal")
+	}
+	if Fig4().IsIdeal() {
+		t.Error("Fig4() should not be ideal")
+	}
+	bad := Profile{Name: "bad", P1: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for P1>1")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := QPU1()
+	s := p.Scaled(3)
+	if math.Abs(s.P1-0.003) > 1e-12 || math.Abs(s.P2-0.015) > 1e-12 {
+		t.Fatalf("scaled rates %g %g", s.P1, s.P2)
+	}
+	// Clamping.
+	big := Profile{Name: "big", P2: 0.6}.Scaled(2)
+	if big.P2 != 1 {
+		t.Fatalf("clamped P2 %g", big.P2)
+	}
+	z := p.Scaled(0)
+	if !z.IsIdeal() {
+		t.Error("zero scaling should be ideal")
+	}
+}
+
+func TestDampingFactors(t *testing.T) {
+	if d := Damping1Q(0); d != 1 {
+		t.Fatalf("Damping1Q(0)=%g", d)
+	}
+	if d := Damping1Q(0.75); math.Abs(d) > 1e-12 {
+		t.Fatalf("Damping1Q(0.75)=%g want 0", d)
+	}
+	if d := Damping2Q(0.3); math.Abs(d-(1-16*0.3/15)) > 1e-12 {
+		t.Fatalf("Damping2Q(0.3)=%g", d)
+	}
+}
+
+func TestEdgeDampingFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	g, err := graph.Random3Regular(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := EdgeDampingFactors(g, Fig4())
+	if len(f) != len(g.Edges) {
+		t.Fatalf("%d factors for %d edges", len(f), len(g.Edges))
+	}
+	for i, v := range f {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("factor[%d]=%g out of (0,1)", i, v)
+		}
+	}
+	// 3-regular: every edge has the same light cone size, so all factors
+	// are equal.
+	for i := 1; i < len(f); i++ {
+		if math.Abs(f[i]-f[0]) > 1e-15 {
+			t.Fatalf("3-regular factors differ: %g vs %g", f[i], f[0])
+		}
+	}
+	// Stronger noise damps more.
+	f2 := EdgeDampingFactors(g, Fig9())
+	if f2[0] >= f[0] {
+		t.Fatalf("Fig9 (p2=0.02) should damp more than Fig4 (p2=0.007): %g vs %g", f2[0], f[0])
+	}
+	// Ideal profile gives unit factors... modulo readout: Ideal has none.
+	fi := EdgeDampingFactors(g, Ideal())
+	for _, v := range fi {
+		if v != 1 {
+			t.Fatalf("ideal factor %g", v)
+		}
+	}
+}
+
+func TestEdgeDampingMonotoneInScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	g, _ := graph.Random3Regular(8, rng)
+	base := QPU1()
+	prev := 1.0
+	for _, c := range []float64{1, 2, 3} {
+		f := EdgeDampingFactors(g, base.Scaled(c))
+		if f[0] >= prev {
+			t.Fatalf("damping not monotone at scale %g: %g >= %g", c, f[0], prev)
+		}
+		prev = f[0]
+	}
+}

@@ -1,0 +1,94 @@
+package pauli
+
+import "fmt"
+
+// mulTable gives, for a pair of single-qubit Paulis (a, b), the product
+// operator and its phase exponent k with a*b = i^k * out.
+func mulSingle(a, b Op) (out Op, iPow int) {
+	if a == I {
+		return b, 0
+	}
+	if b == I {
+		return a, 0
+	}
+	if a == b {
+		return I, 0
+	}
+	// XY=iZ, YZ=iX, ZX=iY; reversed order picks up -i (k=3).
+	switch {
+	case a == X && b == Y:
+		return Z, 1
+	case a == Y && b == Z:
+		return X, 1
+	case a == Z && b == X:
+		return Y, 1
+	case a == Y && b == X:
+		return Z, 3
+	case a == Z && b == Y:
+		return X, 3
+	default: // a == X && b == Z
+		return Y, 3
+	}
+}
+
+// Mul multiplies two Pauli strings: p*q = i^k * out. The phase exponent k is
+// returned modulo 4.
+func Mul(p, q String) (out String, iPow int, err error) {
+	if p.N() != q.N() {
+		return String{}, 0, fmt.Errorf("pauli: product of %d- and %d-qubit strings", p.N(), q.N())
+	}
+	ops := make([]Op, p.N())
+	k := 0
+	for i := 0; i < p.N(); i++ {
+		o, ki := mulSingle(p.At(i), q.At(i))
+		ops[i] = o
+		k += ki
+	}
+	return String{ops: ops}, k % 4, nil
+}
+
+// Commutes reports whether two Pauli strings commute. Two strings commute
+// exactly when they anticommute on an even number of qubit positions.
+func Commutes(p, q String) (bool, error) {
+	if p.N() != q.N() {
+		return false, fmt.Errorf("pauli: commutator of %d- and %d-qubit strings", p.N(), q.N())
+	}
+	anti := 0
+	for i := 0; i < p.N(); i++ {
+		a, b := p.At(i), q.At(i)
+		if a != I && b != I && a != b {
+			anti++
+		}
+	}
+	return anti%2 == 0, nil
+}
+
+// CommutesWithAll reports whether p commutes with every term of h — the
+// symmetry check used by symmetry-verification style mitigation.
+func CommutesWithAll(p String, h *Hamiltonian) (bool, error) {
+	for _, t := range h.Terms() {
+		ok, err := Commutes(p, t.P)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Conjugate computes q P q^dagger for Pauli q (up to the global sign):
+// since q P q = ±P' with P' = qPq having the same support pattern as P when
+// q is Pauli, the result is P itself with a sign = +1 if [p,q]=0 else -1.
+// It returns the sign.
+func Conjugate(p, q String) (sign int, err error) {
+	ok, err := Commutes(p, q)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return 1, nil
+	}
+	return -1, nil
+}

@@ -1,0 +1,190 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulSingleTable(t *testing.T) {
+	cases := []struct {
+		a, b Op
+		out  Op
+		iPow int
+	}{
+		{I, X, X, 0}, {X, I, X, 0}, {X, X, I, 0},
+		{X, Y, Z, 1}, {Y, X, Z, 3},
+		{Y, Z, X, 1}, {Z, Y, X, 3},
+		{Z, X, Y, 1}, {X, Z, Y, 3},
+		{Z, Z, I, 0}, {Y, Y, I, 0},
+	}
+	for _, tc := range cases {
+		out, k := mulSingle(tc.a, tc.b)
+		if out != tc.out || k != tc.iPow {
+			t.Errorf("%c*%c = (%c, i^%d), want (%c, i^%d)", tc.a, tc.b, out, k, tc.out, tc.iPow)
+		}
+	}
+}
+
+func TestMulStrings(t *testing.T) {
+	p := MustString("XYI")
+	q := MustString("YXZ")
+	out, k, err := Mul(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XY = iZ, YX = -iZ, IZ = Z: phases i * -i = 1, k=0; result ZZZ.
+	if out.String() != "ZZZ" || k != 0 {
+		t.Fatalf("got (%s, i^%d), want (ZZZ, i^0)", out, k)
+	}
+	if _, _, err := Mul(MustString("X"), MustString("XX")); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+// TestMulInvolution is a property test: every Pauli string squares to
+// identity with phase 1.
+func TestMulInvolution(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(171))}
+	ops := []byte{'I', 'X', 'Y', 'Z'}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = ops[rng.Intn(4)]
+		}
+		p := MustString(string(b))
+		out, k, err := Mul(p, p)
+		if err != nil {
+			return false
+		}
+		return out.Weight() == 0 && k == 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMulAssociativePhases is a property test: (pq)r and p(qr) give the same
+// operator and phase.
+func TestMulAssociativePhases(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(172))}
+	ops := []byte{'I', 'X', 'Y', 'Z'}
+	mk := func(rng *rand.Rand, n int) String {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = ops[rng.Intn(4)]
+		}
+		return MustString(string(b))
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		p, q, r := mk(rng, n), mk(rng, n), mk(rng, n)
+		pq, k1, _ := Mul(p, q)
+		left, k2, _ := Mul(pq, r)
+		qr, k3, _ := Mul(q, r)
+		right, k4, _ := Mul(p, qr)
+		return left.String() == right.String() && (k1+k2)%4 == (k3+k4)%4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommutes(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"XX", "ZZ", true},  // anticommute on both positions -> commute
+		{"XI", "ZI", false}, // anticommute on one position
+		{"XI", "IZ", true},  // disjoint supports
+		{"ZZ", "ZI", true},
+		{"XYZ", "YXZ", true}, // two anticommuting positions
+	}
+	for _, tc := range cases {
+		got, err := Commutes(MustString(tc.p), MustString(tc.q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Commutes(%s, %s) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+	}
+	if _, err := Commutes(MustString("X"), MustString("XX")); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+// TestCommutesMatchesMulPhases: p and q commute iff pq and qp have equal
+// phase exponent.
+func TestCommutesMatchesMulPhases(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(173))}
+	ops := []byte{'I', 'X', 'Y', 'Z'}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		b1 := make([]byte, n)
+		b2 := make([]byte, n)
+		for i := range b1 {
+			b1[i] = ops[rng.Intn(4)]
+			b2[i] = ops[rng.Intn(4)]
+		}
+		p, q := MustString(string(b1)), MustString(string(b2))
+		c, err := Commutes(p, q)
+		if err != nil {
+			return false
+		}
+		_, k1, _ := Mul(p, q)
+		_, k2, _ := Mul(q, p)
+		if c {
+			return k1 == k2
+		}
+		return (k1+2)%4 == k2 // anticommuting: phases differ by i^2 = -1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommutesWithAll(t *testing.T) {
+	h := NewHamiltonian(2)
+	h.MustAdd(1, MustString("ZZ"))
+	h.MustAdd(0.5, MustString("ZI"))
+	ok, err := CommutesWithAll(MustString("ZZ"), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ZZ should commute with a diagonal Hamiltonian")
+	}
+	ok, err = CommutesWithAll(MustString("XI"), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("XI anticommutes with ZI")
+	}
+}
+
+func TestConjugate(t *testing.T) {
+	sign, err := Conjugate(MustString("Z"), MustString("X"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sign != -1 {
+		t.Fatalf("XZX should flip Z: sign %d", sign)
+	}
+	sign, err = Conjugate(MustString("Z"), MustString("Z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sign != 1 {
+		t.Fatalf("ZZZ = Z: sign %d", sign)
+	}
+	if _, err := Conjugate(MustString("Z"), MustString("ZZ")); err == nil {
+		t.Fatal("want dimension error")
+	}
+}

@@ -1,0 +1,204 @@
+package pauli
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewString(t *testing.T) {
+	p, err := NewString("IZXY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 4 {
+		t.Fatalf("N=%d", p.N())
+	}
+	if p.At(0) != I || p.At(1) != Z || p.At(2) != X || p.At(3) != Y {
+		t.Fatalf("ops wrong: %s", p)
+	}
+	if p.String() != "IZXY" {
+		t.Fatalf("String=%q", p.String())
+	}
+	if _, err := NewString(""); err == nil {
+		t.Error("want error for empty")
+	}
+	if _, err := NewString("IZQ"); err == nil {
+		t.Error("want error for invalid op")
+	}
+}
+
+func TestMustStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MustString("AB")
+}
+
+func TestMasksAndWeight(t *testing.T) {
+	p := MustString("IZXY")
+	if p.Weight() != 3 {
+		t.Fatalf("weight %d", p.Weight())
+	}
+	if p.ZMask() != 0b1010 { // Z on qubit 1, Y on qubit 3
+		t.Fatalf("zmask %b", p.ZMask())
+	}
+	if p.XMask() != 0b1100 { // X on qubit 2, Y on qubit 3
+		t.Fatalf("xmask %b", p.XMask())
+	}
+	if p.IsDiagonal() {
+		t.Fatal("IZXY is not diagonal")
+	}
+	if !MustString("IZZI").IsDiagonal() {
+		t.Fatal("IZZI is diagonal")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if Identity(3).String() != "III" {
+		t.Error("Identity wrong")
+	}
+	if SingleZ(3, 1).String() != "IZI" {
+		t.Error("SingleZ wrong")
+	}
+	if ZZ(4, 0, 3).String() != "ZIIZ" {
+		t.Error("ZZ wrong")
+	}
+}
+
+func TestHamiltonianAddMerges(t *testing.T) {
+	h := NewHamiltonian(2)
+	h.MustAdd(1.0, MustString("ZZ"))
+	h.MustAdd(0.5, MustString("ZZ"))
+	h.MustAdd(-0.25, MustString("XI"))
+	if len(h.Terms()) != 2 {
+		t.Fatalf("terms %d want 2 (merged)", len(h.Terms()))
+	}
+	if h.Terms()[0].Coeff != 1.5 {
+		t.Fatalf("merged coeff %g", h.Terms()[0].Coeff)
+	}
+	if err := h.Add(1, MustString("ZZZ")); err == nil {
+		t.Fatal("want error for dimension mismatch")
+	}
+}
+
+func TestDiagonalValues(t *testing.T) {
+	h := NewHamiltonian(2)
+	h.MustAdd(1, MustString("ZZ"))
+	vals, err := h.DiagonalValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |00>:+1 |01>:-1 |10>:-1 |11>:+1  (bit 0 = qubit 0)
+	want := []float64{1, -1, -1, 1}
+	for i, v := range vals {
+		if v != want[i] {
+			t.Fatalf("vals[%d]=%g want %g", i, v, want[i])
+		}
+	}
+	h2 := NewHamiltonian(2)
+	h2.MustAdd(1, MustString("XI"))
+	if _, err := h2.DiagonalValues(); err == nil {
+		t.Fatal("want error for off-diagonal")
+	}
+}
+
+func TestEvalBitstringMatchesDiagonalValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	h := NewHamiltonian(4)
+	h.MustAdd(0.5, Identity(4))
+	for trial := 0; trial < 6; trial++ {
+		a, b := rng.Intn(4), rng.Intn(4)
+		if a == b {
+			continue
+		}
+		h.MustAdd(rng.NormFloat64(), ZZ(4, min(a, b), max(a, b)))
+	}
+	vals, err := h.DiagonalValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bits := uint64(0); bits < 16; bits++ {
+		v, err := h.EvalBitstring(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-vals[bits]) > 1e-12 {
+			t.Fatalf("bits=%b: %g vs %g", bits, v, vals[bits])
+		}
+	}
+}
+
+func TestIdentityCoeffAndBounds(t *testing.T) {
+	h := NewHamiltonian(2)
+	h.MustAdd(3, Identity(2))
+	h.MustAdd(1, MustString("ZZ"))
+	h.MustAdd(-2, MustString("XI"))
+	if h.IdentityCoeff() != 3 {
+		t.Fatalf("identity coeff %g", h.IdentityCoeff())
+	}
+	lo, hi := h.Bounds()
+	if lo != 0 || hi != 6 {
+		t.Fatalf("bounds [%g,%g] want [0,6]", lo, hi)
+	}
+}
+
+// TestBoundsContainDiagonalSpectrum is a property test on diagonal
+// Hamiltonians: every basis-state energy lies within Bounds().
+func TestBoundsContainDiagonalSpectrum(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(52))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		h := NewHamiltonian(n)
+		for k := 0; k < 5; k++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			if a == b {
+				h.MustAdd(rng.NormFloat64(), SingleZ(n, a))
+			} else {
+				h.MustAdd(rng.NormFloat64(), ZZ(n, min(a, b), max(a, b)))
+			}
+		}
+		vals, err := h.DiagonalValues()
+		if err != nil {
+			return false
+		}
+		lo, hi := h.Bounds()
+		for _, v := range vals {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHamiltonianString(t *testing.T) {
+	h := NewHamiltonian(2)
+	h.MustAdd(1, MustString("ZZ"))
+	h.MustAdd(-0.5, MustString("XI"))
+	s := h.String()
+	if !strings.Contains(s, "ZZ") || !strings.Contains(s, "XI") {
+		t.Fatalf("String=%q", s)
+	}
+	if NewHamiltonian(1).String() != "0" {
+		t.Error("empty Hamiltonian should render as 0")
+	}
+}
+
+func TestParity(t *testing.T) {
+	cases := map[uint64]bool{0: false, 1: true, 3: false, 7: true, 0xFF: false, 1 << 40: true}
+	for x, want := range cases {
+		if parity(x) != want {
+			t.Errorf("parity(%x)=%v want %v", x, parity(x), want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package problem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/qsim"
+)
+
+func TestMaxCutMinimumEqualsNegatedBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{4, 6, 8} {
+		p, err := Random3RegularMaxCut(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := p.Hamiltonian.DiagonalValues()
+		if err != nil {
+			t.Fatal(err)
+		}
+		minV := vals[0]
+		for _, v := range vals {
+			if v < minV {
+				minV = v
+			}
+		}
+		brute := p.Graph.MaxCutBrute()
+		if math.Abs(minV+brute) > 1e-9 {
+			t.Fatalf("n=%d: Hamiltonian min %g, -MaxCut %g", n, minV, -brute)
+		}
+	}
+}
+
+func TestSKMinimumEqualsNegatedBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	p, err := SK(6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := p.Hamiltonian.DiagonalValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	minV := vals[0]
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+	}
+	brute := p.Graph.MaxCutBrute()
+	if math.Abs(minV+brute) > 1e-9 {
+		t.Fatalf("Hamiltonian min %g, -MaxCut %g", minV, -brute)
+	}
+}
+
+func TestMeshMaxCut(t *testing.T) {
+	p, err := MeshMaxCut(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 6 {
+		t.Fatalf("N=%d", p.N())
+	}
+	// Mesh graphs are bipartite: the optimum cuts every edge, so the
+	// minimum of H is -|E|.
+	vals, _ := p.Hamiltonian.DiagonalValues()
+	minV := vals[0]
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+	}
+	if math.Abs(minV+float64(len(p.Graph.Edges))) > 1e-9 {
+		t.Fatalf("bipartite mesh min %g want %g", minV, -float64(len(p.Graph.Edges)))
+	}
+}
+
+func TestH2SpectrumBottom(t *testing.T) {
+	p := H2()
+	if p.N() != 2 {
+		t.Fatalf("N=%d", p.N())
+	}
+	// The exact ground energy of this standard reduced Hamiltonian is
+	// -1.85727503 Ha; check the diagonal HF energy of |q1=1> (the XX term
+	// has zero expectation on any basis state).
+	c := qsim.NewCircuit(2).X(1)
+	s, err := qsim.Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := s.Expectation(p.Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hf-(-1.8369679)) > 1e-6 {
+		t.Fatalf("HF energy %g", hf)
+	}
+	if p.Hamiltonian.IsDiagonal() {
+		t.Fatal("H2 must have off-diagonal XX term")
+	}
+}
+
+func TestLiHStructure(t *testing.T) {
+	p := LiH()
+	if p.N() != 4 {
+		t.Fatalf("N=%d", p.N())
+	}
+	if len(p.Hamiltonian.Terms()) < 15 {
+		t.Fatalf("LiH-like Hamiltonian too small: %d terms", len(p.Hamiltonian.Terms()))
+	}
+	if p.Hamiltonian.IdentityCoeff() > -7 {
+		t.Fatalf("identity offset %g should be large and negative", p.Hamiltonian.IdentityCoeff())
+	}
+}
+
+func TestMaxCutValidation(t *testing.T) {
+	if _, err := MaxCut("nil", nil); err == nil {
+		t.Error("want error for nil graph")
+	}
+	big := &graph.Graph{N: 31}
+	if _, err := MaxCut("big", big); err == nil {
+		t.Error("want error for >30 qubits")
+	}
+}

@@ -1,0 +1,209 @@
+package qaoa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ansatz"
+	"repro/internal/graph"
+	"repro/internal/pauli"
+	"repro/internal/problem"
+	"repro/internal/qsim"
+)
+
+// exactCost runs the real depth-1 QAOA circuit on the state-vector simulator
+// and returns <H> — the ground truth the analytic engine must match.
+func exactCost(t *testing.T, p *problem.Problem, beta, gamma float64) float64 {
+	t.Helper()
+	a, err := ansatz.QAOA(p.Graph, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := qsim.Run(a.Circuit, []float64{beta, gamma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Expectation(p.Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAnalyticMatchesStateVector3Regular(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 4; trial++ {
+		p, err := problem.Random3RegularMaxCut(8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		en, err := NewEngine(p.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 12; k++ {
+			beta := (rng.Float64() - 0.5) * math.Pi / 2
+			gamma := (rng.Float64() - 0.5) * math.Pi
+			want := exactCost(t, p, beta, gamma)
+			got := en.Cost(beta, gamma, nil)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d (beta=%g gamma=%g): analytic %g vs exact %g",
+					trial, beta, gamma, got, want)
+			}
+		}
+	}
+}
+
+func TestAnalyticMatchesStateVectorSK(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 4; trial++ {
+		p, err := problem.SK(6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		en, err := NewEngine(p.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 12; k++ {
+			beta := (rng.Float64() - 0.5) * math.Pi / 2
+			gamma := (rng.Float64() - 0.5) * math.Pi
+			want := exactCost(t, p, beta, gamma)
+			got := en.Cost(beta, gamma, nil)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d (beta=%g gamma=%g): analytic %g vs exact %g",
+					trial, beta, gamma, got, want)
+			}
+		}
+	}
+}
+
+func TestAnalyticMatchesStateVectorWeighted(t *testing.T) {
+	// Random real weights, including triangles (complete graph).
+	rng := rand.New(rand.NewSource(63))
+	g, err := graph.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Edges {
+		g.Edges[i].Weight = rng.NormFloat64()
+	}
+	p, err := problem.MaxCut("weighted-k5", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 20; k++ {
+		beta := (rng.Float64() - 0.5) * math.Pi
+		gamma := (rng.Float64() - 0.5) * 2 * math.Pi
+		want := exactCost(t, p, beta, gamma)
+		got := en.Cost(beta, gamma, nil)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("k=%d (beta=%g gamma=%g): analytic %g vs exact %g", k, beta, gamma, got, want)
+		}
+	}
+}
+
+func TestAnalyticMeshGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	g, err := graph.Mesh(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := problem.MaxCut("mesh", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		beta := (rng.Float64() - 0.5) * math.Pi / 2
+		gamma := (rng.Float64() - 0.5) * math.Pi
+		want := exactCost(t, p, beta, gamma)
+		got := en.Cost(beta, gamma, nil)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("beta=%g gamma=%g: analytic %g vs exact %g", beta, gamma, got, want)
+		}
+	}
+}
+
+func TestCostAtZeroAngles(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	g, _ := graph.Random3Regular(10, rng)
+	en, _ := NewEngine(g)
+	// At beta=gamma=0 the state is |+>^n: every <ZZ> = 0 and
+	// <H> = -sum w/2 (= -E/2 for unweighted).
+	got := en.Cost(0, 0, nil)
+	want := -float64(len(g.Edges)) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cost at origin %g want %g", got, want)
+	}
+}
+
+func TestExpectedCutComplementsCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	g, _ := graph.Random3Regular(8, rng)
+	en, _ := NewEngine(g)
+	beta, gamma := 0.2, -0.6
+	if math.Abs(en.ExpectedCut(beta, gamma)+en.Cost(beta, gamma, nil)) > 1e-12 {
+		t.Fatal("ExpectedCut != -Cost")
+	}
+}
+
+func TestZZDamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g, _ := graph.Random3Regular(8, rng)
+	en, _ := NewEngine(g)
+	damp := make([]float64, en.NumEdges())
+	for i := range damp {
+		damp[i] = 0 // fully depolarized
+	}
+	got := en.Cost(0.3, 0.5, damp)
+	want := -float64(len(g.Edges)) / 2 // only the identity offset survives
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fully damped cost %g want %g", got, want)
+	}
+}
+
+func TestNewEngineErrors(t *testing.T) {
+	if _, err := NewEngine(nil); err == nil {
+		t.Error("want error for nil graph")
+	}
+	bad := &graph.Graph{N: 3, Edges: []graph.Edge{{U: 1, V: 1, Weight: 1}}}
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("want error for self loop")
+	}
+}
+
+func TestZZPerEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	p, err := problem.Random3RegularMaxCut(6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, _ := NewEngine(p.Graph)
+	a, _ := ansatz.QAOA(p.Graph, 1)
+	beta, gamma := 0.17, -0.42
+	s, err := qsim.Run(a.Circuit, []float64{beta, gamma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range p.Graph.Edges {
+		want, err := s.ExpectationPauli(pauliZZ(p.N(), e.U, e.V))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := en.ZZ(i, beta, gamma)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("edge %d: analytic %g vs exact %g", i, got, want)
+		}
+	}
+}
+
+func pauliZZ(n, a, b int) pauli.String { return pauli.ZZ(n, a, b) }

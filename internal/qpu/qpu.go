@@ -1,0 +1,268 @@
+// Package qpu models the execution fabric of Section 5: multiple quantum
+// processing units with queuing delays and heavy-tailed latency, OSCAR's
+// parallel sampling across them, and eager reconstruction (Section 5.2),
+// which sidesteps Amdahl's law by dropping tail-latency samples.
+//
+// Time is virtual: job latencies are drawn from a seeded heavy-tailed model
+// and accumulated per device, so experiments measure the same queue dynamics
+// a real fleet exhibits while running deterministically and instantly.
+package qpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/backend"
+	"repro/internal/landscape"
+)
+
+// LatencyModel describes one device's per-job latency: a lognormal queue
+// delay plus a fixed execution time, with a probability of landing in the
+// heavy tail (the paper observed 10x-30x tail latencies on public QPUs).
+type LatencyModel struct {
+	// QueueMedian is the median queuing delay in seconds.
+	QueueMedian float64
+	// Sigma is the lognormal shape parameter (0.5 is mild, 1.5 heavy).
+	Sigma float64
+	// Exec is the fixed circuit-batch execution time in seconds.
+	Exec float64
+	// TailProb is the probability a job hits the heavy tail.
+	TailProb float64
+	// TailFactor multiplies the latency of tail jobs (10-30 in the
+	// paper's observations).
+	TailFactor float64
+}
+
+// DefaultLatency is a cloud-QPU-like model: 60 s median queue, moderate
+// spread, 5% of jobs hitting a 20x tail.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{QueueMedian: 60, Sigma: 0.6, Exec: 5, TailProb: 0.05, TailFactor: 20}
+}
+
+// Sample draws one job latency in seconds.
+func (m LatencyModel) Sample(rng *rand.Rand) float64 {
+	queue := m.QueueMedian * math.Exp(m.Sigma*rng.NormFloat64())
+	lat := queue + m.Exec
+	if m.TailProb > 0 && rng.Float64() < m.TailProb {
+		lat *= m.TailFactor
+	}
+	return lat
+}
+
+// Validate checks the model parameters.
+func (m LatencyModel) Validate() error {
+	if m.QueueMedian < 0 || m.Exec < 0 || m.Sigma < 0 {
+		return fmt.Errorf("qpu: negative latency parameters %+v", m)
+	}
+	if m.TailProb < 0 || m.TailProb > 1 {
+		return fmt.Errorf("qpu: tail probability %g out of [0,1]", m.TailProb)
+	}
+	if m.TailProb > 0 && m.TailFactor < 1 {
+		return fmt.Errorf("qpu: tail factor %g < 1", m.TailFactor)
+	}
+	return nil
+}
+
+// Device is one QPU: an evaluator plus its latency behavior.
+type Device struct {
+	Name    string
+	Eval    backend.Evaluator
+	Latency LatencyModel
+	// FailureProb is the probability a job fails on this device
+	// (calibration drop-out, queue eviction). Failed jobs pay their
+	// latency, then are rescheduled on the earliest-free *other* device
+	// (or retried here if the fleet has a single device).
+	FailureProb float64
+}
+
+// Result is one completed job.
+type Result struct {
+	// Index is the flat grid index the job measured.
+	Index int
+	// Value is the measured cost.
+	Value float64
+	// Device is the index of the device that ran the job.
+	Device int
+	// Done is the virtual completion time in seconds.
+	Done float64
+}
+
+// RunReport summarizes a parallel run.
+type RunReport struct {
+	// Results lists all completed jobs sorted by completion time.
+	Results []Result
+	// Makespan is the virtual time at which the last job finished.
+	Makespan float64
+	// SerialTime is the virtual time a single reference device would
+	// need to run every job back to back.
+	SerialTime float64
+	// PerDevice counts jobs per device.
+	PerDevice []int
+	// Retries counts failed executions that were rescheduled.
+	Retries int
+}
+
+// Speedup is SerialTime / Makespan.
+func (r *RunReport) Speedup() float64 {
+	if r.Makespan == 0 {
+		return math.Inf(1)
+	}
+	return r.SerialTime / r.Makespan
+}
+
+// Executor schedules jobs across devices in virtual time.
+type Executor struct {
+	devices []Device
+	seed    int64
+}
+
+// NewExecutor builds an executor over the given devices.
+func NewExecutor(seed int64, devices ...Device) (*Executor, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("qpu: no devices")
+	}
+	for _, d := range devices {
+		if d.Eval == nil {
+			return nil, fmt.Errorf("qpu: device %q has no evaluator", d.Name)
+		}
+		if err := d.Latency.Validate(); err != nil {
+			return nil, err
+		}
+		if d.FailureProb < 0 || d.FailureProb >= 1 {
+			return nil, fmt.Errorf("qpu: device %q failure probability %g out of [0,1)", d.Name, d.FailureProb)
+		}
+	}
+	return &Executor{devices: devices, seed: seed}, nil
+}
+
+// Run executes the cost evaluations for the given flat grid indices,
+// assigning each job to the device that becomes free first (greedy
+// list scheduling). The measured values are real; only time is simulated.
+func (e *Executor) Run(g *landscape.Grid, indices []int) (*RunReport, error) {
+	if len(indices) == 0 {
+		return nil, errors.New("qpu: no jobs")
+	}
+	rng := rand.New(rand.NewSource(e.seed))
+	free := make([]float64, len(e.devices))
+	perDevice := make([]int, len(e.devices))
+	results := make([]Result, 0, len(indices))
+	var serial float64
+
+	retries := 0
+	const maxAttempts = 8
+	for _, idx := range indices {
+		var (
+			done    float64
+			dev     int
+			exclude = -1
+		)
+		for attempt := 0; ; attempt++ {
+			// Earliest-free device, skipping the one that just
+			// failed this job when an alternative exists.
+			dev = -1
+			for d := 0; d < len(free); d++ {
+				if d == exclude && len(free) > 1 {
+					continue
+				}
+				if dev < 0 || free[d] < free[dev] {
+					dev = d
+				}
+			}
+			lat := e.devices[dev].Latency.Sample(rng)
+			// The serial baseline runs the same jobs (same latency
+			// draws, same failures) back to back on a single device.
+			serial += lat
+			free[dev] += lat
+			if e.devices[dev].FailureProb > 0 && rng.Float64() < e.devices[dev].FailureProb {
+				if attempt+1 >= maxAttempts {
+					return nil, fmt.Errorf("qpu: job %d failed %d times in a row", idx, maxAttempts)
+				}
+				retries++
+				exclude = dev
+				continue
+			}
+			done = free[dev]
+			break
+		}
+		params := g.Point(idx)
+		v, err := e.devices[dev].Eval.Evaluate(params)
+		if err != nil {
+			return nil, fmt.Errorf("qpu: device %q failed: %w", e.devices[dev].Name, err)
+		}
+		perDevice[dev]++
+		results = append(results, Result{Index: idx, Value: v, Device: dev, Done: done})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Done < results[j].Done })
+	makespan := 0.0
+	for _, f := range free {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return &RunReport{
+		Results:    results,
+		Makespan:   makespan,
+		SerialTime: serial,
+		PerDevice:  perDevice,
+		Retries:    retries,
+	}, nil
+}
+
+// EagerCut returns the prefix of results completed by the soft timeout, plus
+// the time saved versus waiting for the full run. This is Section 5.2's
+// eager reconstruction: a small loss of samples buys a large latency win
+// when the timeout cuts off the heavy tail.
+func EagerCut(rep *RunReport, timeout float64) (kept []Result, saved float64) {
+	for _, r := range rep.Results {
+		if r.Done <= timeout {
+			kept = append(kept, r)
+		}
+	}
+	saved = rep.Makespan - timeout
+	if saved < 0 {
+		saved = 0
+	}
+	return kept, saved
+}
+
+// TimeoutForFraction returns the completion time of the q-quantile job —
+// the natural soft timeout to keep a fraction q of samples.
+func TimeoutForFraction(rep *RunReport, q float64) float64 {
+	if len(rep.Results) == 0 || q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return rep.Makespan
+	}
+	k := int(q * float64(len(rep.Results)))
+	if k < 1 {
+		k = 1
+	}
+	return rep.Results[k-1].Done
+}
+
+// SplitIndices partitions sampled indices between two devices with the
+// given fraction going to the first — the mixing ratios of Table 5 and
+// Figure 8 ("20%-80%" etc.).
+func SplitIndices(indices []int, fracFirst float64, rng *rand.Rand) (first, second []int, err error) {
+	if fracFirst < 0 || fracFirst > 1 {
+		return nil, nil, fmt.Errorf("qpu: fraction %g out of [0,1]", fracFirst)
+	}
+	perm := rng.Perm(len(indices))
+	nFirst := int(math.Round(fracFirst * float64(len(indices))))
+	pick := make(map[int]bool, nFirst)
+	for _, p := range perm[:nFirst] {
+		pick[p] = true
+	}
+	for i, idx := range indices {
+		if pick[i] {
+			first = append(first, idx)
+		} else {
+			second = append(second, idx)
+		}
+	}
+	return first, second, nil
+}

@@ -1,0 +1,275 @@
+package qpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/landscape"
+)
+
+func testGrid(t *testing.T) *landscape.Grid {
+	t.Helper()
+	g, err := landscape.NewGrid(
+		landscape.Axis{Name: "x", Min: -1, Max: 1, N: 10},
+		landscape.Axis{Name: "y", Min: -1, Max: 1, N: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func evalFunc(label string) backend.Evaluator {
+	return &backend.Func{Label: label, Params: 2, F: func(p []float64) (float64, error) {
+		return p[0]*p[0] + p[1], nil
+	}}
+}
+
+func TestLatencyModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	m := DefaultLatency()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 5000
+	tails := 0
+	for i := 0; i < n; i++ {
+		l := m.Sample(rng)
+		if l <= 0 {
+			t.Fatalf("latency %g", l)
+		}
+		if l > 10*m.QueueMedian {
+			tails++
+		}
+		sum += l
+	}
+	if tails == 0 {
+		t.Fatal("no tail events in 5000 samples at 5% tail probability")
+	}
+	mean := sum / float64(n)
+	if mean < m.QueueMedian {
+		t.Fatalf("mean %g below median %g (lognormal + tail should exceed)", mean, m.QueueMedian)
+	}
+	bad := LatencyModel{QueueMedian: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for negative median")
+	}
+	bad2 := LatencyModel{TailProb: 0.5, TailFactor: 0.5}
+	if err := bad2.Validate(); err == nil {
+		t.Error("want error for tail factor < 1")
+	}
+}
+
+func TestExecutorRunParallelSpeedup(t *testing.T) {
+	g := testGrid(t)
+	lat := LatencyModel{QueueMedian: 10, Sigma: 0.3, Exec: 1}
+	devices := make([]Device, 4)
+	for i := range devices {
+		devices[i] = Device{Name: "qpu", Eval: evalFunc("f"), Latency: lat}
+	}
+	ex, err := NewExecutor(7, devices...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 60)
+	for i := range idx {
+		idx[i] = i
+	}
+	rep, err := ex.Run(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 60 {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+	// 4 identical devices: speedup should approach 4.
+	if sp := rep.Speedup(); sp < 2.5 || sp > 6 {
+		t.Fatalf("speedup %g, want near 4", sp)
+	}
+	// Load balance.
+	for d, c := range rep.PerDevice {
+		if c < 10 || c > 20 {
+			t.Fatalf("device %d ran %d jobs", d, c)
+		}
+	}
+	// Values are real evaluations.
+	for _, r := range rep.Results {
+		p := g.Point(r.Index)
+		want := p[0]*p[0] + p[1]
+		if math.Abs(r.Value-want) > 1e-12 {
+			t.Fatalf("value %g want %g", r.Value, want)
+		}
+	}
+	// Results sorted by completion.
+	for i := 1; i < len(rep.Results); i++ {
+		if rep.Results[i].Done < rep.Results[i-1].Done {
+			t.Fatal("results not sorted by completion time")
+		}
+	}
+}
+
+func TestExecutorValidation(t *testing.T) {
+	if _, err := NewExecutor(1); err == nil {
+		t.Error("want error for no devices")
+	}
+	if _, err := NewExecutor(1, Device{Name: "x"}); err == nil {
+		t.Error("want error for missing evaluator")
+	}
+	ex, _ := NewExecutor(1, Device{Name: "a", Eval: evalFunc("f"), Latency: DefaultLatency()})
+	if _, err := ex.Run(testGrid(t), nil); err == nil {
+		t.Error("want error for no jobs")
+	}
+}
+
+func TestEagerCutDropsTail(t *testing.T) {
+	g := testGrid(t)
+	// Heavy tail: 10% of jobs at 30x latency.
+	lat := LatencyModel{QueueMedian: 10, Sigma: 0.2, Exec: 1, TailProb: 0.1, TailFactor: 30}
+	ex, err := NewExecutor(11,
+		Device{Name: "a", Eval: evalFunc("f"), Latency: lat},
+		Device{Name: "b", Eval: evalFunc("f"), Latency: lat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 100)
+	for i := range idx {
+		idx[i] = i
+	}
+	rep, err := ex.Run(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeout := TimeoutForFraction(rep, 0.9)
+	kept, saved := EagerCut(rep, timeout)
+	if len(kept) < 85 || len(kept) > 95 {
+		t.Fatalf("kept %d of 100 at q=0.9", len(kept))
+	}
+	if saved <= 0 {
+		t.Fatalf("eager cut saved %g (tail should push makespan past the 90%% quantile)", saved)
+	}
+	// Completion times of kept jobs all within timeout.
+	for _, r := range kept {
+		if r.Done > timeout {
+			t.Fatal("kept a job past the timeout")
+		}
+	}
+	// Full-fraction timeout equals makespan.
+	if TimeoutForFraction(rep, 1) != rep.Makespan {
+		t.Fatal("q=1 timeout should be the makespan")
+	}
+	if TimeoutForFraction(rep, 0) != 0 {
+		t.Fatal("q=0 timeout should be 0")
+	}
+}
+
+func TestSplitIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	idx := make([]int, 100)
+	for i := range idx {
+		idx[i] = i * 3
+	}
+	first, second, err := SplitIndices(idx, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 20 || len(second) != 80 {
+		t.Fatalf("split %d/%d", len(first), len(second))
+	}
+	seen := map[int]bool{}
+	for _, v := range append(first, second...) {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("split lost indices")
+	}
+	if _, _, err := SplitIndices(idx, 1.5, rng); err == nil {
+		t.Error("want error for bad fraction")
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	g := testGrid(t)
+	lat := DefaultLatency()
+	mk := func() *RunReport {
+		ex, _ := NewExecutor(99,
+			Device{Name: "a", Eval: evalFunc("f"), Latency: lat},
+			Device{Name: "b", Eval: evalFunc("f"), Latency: lat},
+		)
+		idx := []int{0, 5, 10, 15, 20, 25}
+		rep, err := ex.Run(g, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := mk(), mk()
+	if r1.Makespan != r2.Makespan || r1.SerialTime != r2.SerialTime {
+		t.Fatal("virtual time not deterministic")
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	g := testGrid(t)
+	lat := LatencyModel{QueueMedian: 10, Sigma: 0.2, Exec: 1}
+	flaky := Device{Name: "flaky", Eval: evalFunc("f"), Latency: lat, FailureProb: 0.3}
+	solid := Device{Name: "solid", Eval: evalFunc("f"), Latency: lat}
+	ex, err := NewExecutor(21, flaky, solid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 80)
+	for i := range idx {
+		idx[i] = i
+	}
+	rep, err := ex.Run(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 80 {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+	if rep.Retries == 0 {
+		t.Fatal("no retries with a 30% flaky device")
+	}
+	// Every value still correct despite rescheduling.
+	for _, r := range rep.Results {
+		p := g.Point(r.Index)
+		if math.Abs(r.Value-(p[0]*p[0]+p[1])) > 1e-12 {
+			t.Fatalf("value corrupted after retry: %g", r.Value)
+		}
+	}
+	// Failed attempts pay latency: serial time covers retries too.
+	if rep.SerialTime <= 80*lat.Exec {
+		t.Fatalf("serial time %g too small", rep.SerialTime)
+	}
+}
+
+func TestFailureValidation(t *testing.T) {
+	d := Device{Name: "x", Eval: evalFunc("f"), FailureProb: 1.0}
+	if _, err := NewExecutor(1, d); err == nil {
+		t.Fatal("want error for failure probability 1")
+	}
+}
+
+func TestSingleDeviceRetriesInPlace(t *testing.T) {
+	g := testGrid(t)
+	d := Device{Name: "only", Eval: evalFunc("f"), Latency: LatencyModel{QueueMedian: 5, Sigma: 0.1, Exec: 1}, FailureProb: 0.2}
+	ex, err := NewExecutor(31, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ex.Run(g, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 10 {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+}

@@ -1,0 +1,495 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/pauli"
+)
+
+// DensityMatrix is an n-qubit mixed state rho stored row-major as a
+// 2^n x 2^n complex matrix. It supports exact simulation of Kraus noise
+// channels (depolarizing, amplitude damping, readout error), which backs the
+// "noisy sim" device profiles in the paper reproduction.
+type DensityMatrix struct {
+	n   int
+	dim int
+	rho []complex128
+}
+
+// NewDensityMatrix prepares |0...0><0...0| on n qubits. Density-matrix
+// simulation costs 4^n memory, so n is capped at 13.
+func NewDensityMatrix(n int) *DensityMatrix {
+	if n <= 0 || n > 13 {
+		panic(fmt.Sprintf("qsim: unsupported density-matrix qubit count %d", n))
+	}
+	dim := 1 << uint(n)
+	d := &DensityMatrix{n: n, dim: dim, rho: make([]complex128, dim*dim)}
+	d.rho[0] = 1
+	return d
+}
+
+// N reports the qubit count.
+func (d *DensityMatrix) N() int { return d.n }
+
+// Trace returns Tr(rho), which unitary evolution and trace-preserving
+// channels keep at 1.
+func (d *DensityMatrix) Trace() float64 {
+	var t complex128
+	for i := 0; i < d.dim; i++ {
+		t += d.rho[i*d.dim+i]
+	}
+	return real(t)
+}
+
+// Clone deep-copies the state.
+func (d *DensityMatrix) Clone() *DensityMatrix {
+	c := &DensityMatrix{n: d.n, dim: d.dim, rho: make([]complex128, len(d.rho))}
+	copy(c.rho, d.rho)
+	return c
+}
+
+// leftMul1Q computes rho <- (U on qubit q) rho.
+func (d *DensityMatrix) leftMul1Q(q int, m [2][2]complex128) {
+	bit := 1 << uint(q)
+	for col := 0; col < d.dim; col++ {
+		for r := 0; r < d.dim; r += bit << 1 {
+			for i := r; i < r+bit; i++ {
+				a0 := d.rho[i*d.dim+col]
+				a1 := d.rho[(i|bit)*d.dim+col]
+				d.rho[i*d.dim+col] = m[0][0]*a0 + m[0][1]*a1
+				d.rho[(i|bit)*d.dim+col] = m[1][0]*a0 + m[1][1]*a1
+			}
+		}
+	}
+}
+
+// rightMul1QDagger computes rho <- rho (U on qubit q)^dagger.
+func (d *DensityMatrix) rightMul1QDagger(q int, m [2][2]complex128) {
+	bit := 1 << uint(q)
+	// (rho U^dagger)_{r,c} = sum_k rho_{r,k} conj(U_{c,k}).
+	for row := 0; row < d.dim; row++ {
+		base := row * d.dim
+		for c0 := 0; c0 < d.dim; c0 += bit << 1 {
+			for j := c0; j < c0+bit; j++ {
+				a0 := d.rho[base+j]
+				a1 := d.rho[base+(j|bit)]
+				d.rho[base+j] = a0*complexConj(m[0][0]) + a1*complexConj(m[0][1])
+				d.rho[base+(j|bit)] = a0*complexConj(m[1][0]) + a1*complexConj(m[1][1])
+			}
+		}
+	}
+}
+
+// applyUnitary1Q conjugates rho by a single-qubit unitary.
+func (d *DensityMatrix) applyUnitary1Q(q int, m [2][2]complex128) {
+	d.leftMul1Q(q, m)
+	d.rightMul1QDagger(q, m)
+}
+
+// phase returns the scalar c(i) with P|i> = c(i) |i^x> for a Pauli given by
+// masks and Y count.
+func pauliPhase(i uint64, z uint64, iPow complex128) complex128 {
+	return iPow * signC(i&z)
+}
+
+// conjugatePauli computes rho <- P rho P^dagger for a Pauli string.
+// Because P|i> = c(i)|i^x|, the map is an index permutation with phases:
+// rho'_{i^x, j^x} = c(i) conj(c(j)) rho_{i,j}.
+func (d *DensityMatrix) conjugatePauli(p pauli.String) {
+	x := int(p.XMask())
+	z := p.ZMask()
+	nY := 0
+	for q := 0; q < p.N(); q++ {
+		if p.At(q) == pauli.Y {
+			nY++
+		}
+	}
+	iPow := iPower(nY)
+	out := make([]complex128, len(d.rho))
+	for i := 0; i < d.dim; i++ {
+		ci := pauliPhase(uint64(i), z, iPow)
+		for j := 0; j < d.dim; j++ {
+			cj := pauliPhase(uint64(j), z, iPow)
+			out[(i^x)*d.dim+(j^x)] = ci * complexConj(cj) * d.rho[i*d.dim+j]
+		}
+	}
+	d.rho = out
+}
+
+// applyDiagonal conjugates rho by a diagonal unitary with entries phase(i).
+func (d *DensityMatrix) applyDiagonal(phase func(i int) complex128) {
+	for i := 0; i < d.dim; i++ {
+		pi := phase(i)
+		for j := 0; j < d.dim; j++ {
+			d.rho[i*d.dim+j] *= pi * complexConj(phase(j))
+		}
+	}
+}
+
+// applyPermutation conjugates rho by a basis permutation perm (unitary with
+// one 1 per row).
+func (d *DensityMatrix) applyPermutation(perm func(i int) int) {
+	out := make([]complex128, len(d.rho))
+	for i := 0; i < d.dim; i++ {
+		pi := perm(i)
+		for j := 0; j < d.dim; j++ {
+			out[pi*d.dim+perm(j)] = d.rho[i*d.dim+j]
+		}
+	}
+	d.rho = out
+}
+
+// ApplyGate applies one circuit gate with resolved parameters.
+func (d *DensityMatrix) ApplyGate(g Gate, params []float64) error {
+	theta, err := g.Angle(params)
+	if err != nil {
+		return err
+	}
+	switch g.Kind {
+	case GateCNOT:
+		cb := 1 << uint(g.Qubits[0])
+		tb := 1 << uint(g.Qubits[1])
+		d.applyPermutation(func(i int) int {
+			if i&cb != 0 {
+				return i ^ tb
+			}
+			return i
+		})
+	case GateSWAP:
+		ab := 1 << uint(g.Qubits[0])
+		bb := 1 << uint(g.Qubits[1])
+		d.applyPermutation(func(i int) int {
+			b1 := i&ab != 0
+			b2 := i&bb != 0
+			if b1 == b2 {
+				return i
+			}
+			return i ^ ab ^ bb
+		})
+	case GateCZ:
+		ab := 1 << uint(g.Qubits[0])
+		bb := 1 << uint(g.Qubits[1])
+		d.applyDiagonal(func(i int) complex128 {
+			if i&ab != 0 && i&bb != 0 {
+				return -1
+			}
+			return 1
+		})
+	case GateRZZ:
+		ab := 1 << uint(g.Qubits[0])
+		bb := 1 << uint(g.Qubits[1])
+		plus := complex(math.Cos(theta/2), -math.Sin(theta/2))
+		minus := complex(math.Cos(theta/2), math.Sin(theta/2))
+		d.applyDiagonal(func(i int) complex128 {
+			if (i&ab != 0) == (i&bb != 0) {
+				return plus
+			}
+			return minus
+		})
+	case GatePauliRot:
+		d.applyPauliRotDM(g.Pauli, theta)
+	default:
+		d.applyUnitary1Q(g.Qubits[0], gateMatrix(g.Kind, theta))
+	}
+	return nil
+}
+
+// applyPauliRotDM conjugates rho by exp(-i theta/2 P) using
+// U rho U^dag = cos^2 rho + sin^2 P rho P - i sin cos [P, rho].
+func (d *DensityMatrix) applyPauliRotDM(p pauli.String, theta float64) {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	// P rho and rho P share structure with conjugatePauli; build them.
+	x := int(p.XMask())
+	z := p.ZMask()
+	nY := 0
+	for q := 0; q < p.N(); q++ {
+		if p.At(q) == pauli.Y {
+			nY++
+		}
+	}
+	iPow := iPower(nY)
+	dim := d.dim
+	out := make([]complex128, len(d.rho))
+	cc := complex(c*c, 0)
+	ss := complex(s*s, 0)
+	isc := complex(0, -s*c)
+	for i := 0; i < dim; i++ {
+		ci := pauliPhase(uint64(i), z, iPow)
+		for j := 0; j < dim; j++ {
+			cj := pauliPhase(uint64(j), z, iPow)
+			rij := d.rho[i*dim+j]
+			// Contributions to out from rho_{i,j}:
+			// cos^2 rho at (i,j)
+			out[i*dim+j] += cc * rij
+			// sin^2 P rho P^dag at (i^x, j^x)
+			out[(i^x)*dim+(j^x)] += ss * ci * complexConj(cj) * rij
+			// -i sin cos (P rho) at (i^x, j): (P rho)_{i^x,j} = c(i) rho_{i,j}
+			out[(i^x)*dim+j] += isc * ci * rij
+			// +i sin cos (rho P) at (i, j^x): (rho P)_{i,j^x} = rho_{i,j} c(j)... note P^dag = P.
+			// U rho U^dag = (cI - isP) rho (cI + isP) = c^2 rho + s^2 PrhoP - isc(P rho - rho P).
+			out[i*dim+(j^x)] += (-isc) * complexConj(cj) * rij
+		}
+	}
+	d.rho = out
+}
+
+// RunDensity executes a circuit on a density matrix, interleaving the given
+// noise hook after every gate (pass nil for ideal evolution).
+func RunDensity(c *Circuit, params []float64, afterGate func(d *DensityMatrix, g Gate) error) (*DensityMatrix, error) {
+	if err := c.Validate(params); err != nil {
+		return nil, err
+	}
+	d := NewDensityMatrix(c.N())
+	for _, g := range c.Gates() {
+		if err := d.ApplyGate(g, params); err != nil {
+			return nil, err
+		}
+		if afterGate != nil {
+			if err := afterGate(d, g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// Depolarize1Q applies the single-qubit depolarizing channel with
+// probability p on qubit q: rho <- (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z).
+func (d *DensityMatrix) Depolarize1Q(q int, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("qsim: depolarizing probability %g out of [0,1]", p)
+	}
+	if p == 0 {
+		return nil
+	}
+	orig := append([]complex128(nil), d.rho...)
+	acc := make([]complex128, len(d.rho))
+	for i := range acc {
+		acc[i] = complex(1-p, 0) * orig[i]
+	}
+	for _, op := range []pauli.Op{pauli.X, pauli.Y, pauli.Z} {
+		copy(d.rho, orig)
+		d.conjugatePauli(singleOp(d.n, q, op))
+		w := complex(p/3, 0)
+		for i := range acc {
+			acc[i] += w * d.rho[i]
+		}
+	}
+	d.rho = acc
+	return nil
+}
+
+// Depolarize2Q applies the two-qubit depolarizing channel with probability p
+// on qubits a and b: rho <- (1-p) rho + p/15 sum_{P != II} P rho P.
+func (d *DensityMatrix) Depolarize2Q(a, b int, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("qsim: depolarizing probability %g out of [0,1]", p)
+	}
+	if p == 0 {
+		return nil
+	}
+	orig := append([]complex128(nil), d.rho...)
+	acc := make([]complex128, len(d.rho))
+	for i := range acc {
+		acc[i] = complex(1-p, 0) * orig[i]
+	}
+	ops := []pauli.Op{pauli.I, pauli.X, pauli.Y, pauli.Z}
+	w := complex(p/15, 0)
+	for _, oa := range ops {
+		for _, ob := range ops {
+			if oa == pauli.I && ob == pauli.I {
+				continue
+			}
+			copy(d.rho, orig)
+			d.conjugatePauli(doubleOp(d.n, a, b, oa, ob))
+			for i := range acc {
+				acc[i] += w * d.rho[i]
+			}
+		}
+	}
+	d.rho = acc
+	return nil
+}
+
+// AmplitudeDamp applies the amplitude-damping channel with rate gamma on
+// qubit q, modeling T1 relaxation.
+func (d *DensityMatrix) AmplitudeDamp(q int, gamma float64) error {
+	if gamma < 0 || gamma > 1 {
+		return fmt.Errorf("qsim: damping rate %g out of [0,1]", gamma)
+	}
+	if gamma == 0 {
+		return nil
+	}
+	// Kraus: K0 = [[1,0],[0,sqrt(1-g)]], K1 = [[0,sqrt(g)],[0,0]].
+	k0 := [2][2]complex128{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}}
+	k1 := [2][2]complex128{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}}
+	orig := append([]complex128(nil), d.rho...)
+	copy(d.rho, orig)
+	d.leftMul1Q(q, k0)
+	d.rightMul1QDagger(q, k0)
+	acc := append([]complex128(nil), d.rho...)
+	copy(d.rho, orig)
+	d.leftMul1Q(q, k1)
+	d.rightMul1QDagger(q, k1)
+	for i := range acc {
+		acc[i] += d.rho[i]
+	}
+	d.rho = acc
+	return nil
+}
+
+func singleOp(n, q int, op pauli.Op) pauli.String {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = 'I'
+	}
+	b[q] = byte(op)
+	return pauli.MustString(string(b))
+}
+
+func doubleOp(n, a, b int, oa, ob pauli.Op) pauli.String {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = 'I'
+	}
+	s[a] = byte(oa)
+	s[b] = byte(ob)
+	return pauli.MustString(string(s))
+}
+
+// ExpectationPauli computes Tr(rho P).
+func (d *DensityMatrix) ExpectationPauli(p pauli.String) (float64, error) {
+	if p.N() != d.n {
+		return 0, fmt.Errorf("qsim: %d-qubit observable on %d-qubit density matrix", p.N(), d.n)
+	}
+	x := int(p.XMask())
+	z := p.ZMask()
+	nY := 0
+	for q := 0; q < p.N(); q++ {
+		if p.At(q) == pauli.Y {
+			nY++
+		}
+	}
+	iPow := iPower(nY)
+	var acc complex128
+	for i := 0; i < d.dim; i++ {
+		// Tr(rho P) = Tr(P rho) = sum_i c(i) rho_{i, i^x}.
+		acc += d.rho[i*d.dim+(i^x)] * pauliPhase(uint64(i), z, iPow)
+	}
+	return real(acc), nil
+}
+
+// Expectation computes Tr(rho H) for a Pauli-sum Hamiltonian.
+func (d *DensityMatrix) Expectation(h *pauli.Hamiltonian) (float64, error) {
+	if h.N() != d.n {
+		return 0, fmt.Errorf("qsim: %d-qubit Hamiltonian on %d-qubit density matrix", h.N(), d.n)
+	}
+	var total float64
+	for _, t := range h.Terms() {
+		e, err := d.ExpectationPauli(t.P)
+		if err != nil {
+			return 0, err
+		}
+		total += t.Coeff * e
+	}
+	return total, nil
+}
+
+// Probabilities returns the computational-basis measurement distribution,
+// the diagonal of rho.
+func (d *DensityMatrix) Probabilities() []float64 {
+	p := make([]float64, d.dim)
+	for i := 0; i < d.dim; i++ {
+		p[i] = real(d.rho[i*d.dim+i])
+		if p[i] < 0 {
+			p[i] = 0 // numerical cleanup
+		}
+	}
+	return p
+}
+
+// ApplyReadoutError maps measurement probabilities through independent
+// per-qubit confusion matrices: p01 = P(read 1 | true 0),
+// p10 = P(read 0 | true 1). It returns a new distribution.
+func ApplyReadoutError(probs []float64, n int, p01, p10 float64) ([]float64, error) {
+	if len(probs) != 1<<uint(n) {
+		return nil, fmt.Errorf("qsim: distribution length %d for %d qubits", len(probs), n)
+	}
+	if p01 < 0 || p01 > 1 || p10 < 0 || p10 > 1 {
+		return nil, fmt.Errorf("qsim: readout error rates out of range: p01=%g p10=%g", p01, p10)
+	}
+	cur := append([]float64(nil), probs...)
+	next := make([]float64, len(probs))
+	for q := 0; q < n; q++ {
+		bit := 1 << uint(q)
+		for i := range next {
+			next[i] = 0
+		}
+		for i, p := range cur {
+			if p == 0 {
+				continue
+			}
+			if i&bit == 0 {
+				next[i] += p * (1 - p01)
+				next[i|bit] += p * p01
+			} else {
+				next[i] += p * (1 - p10)
+				next[i&^bit] += p * p10
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// SampleDistribution draws shots samples from an arbitrary distribution.
+func SampleDistribution(probs []float64, shots int, rng *rand.Rand) map[uint64]int {
+	cum := make([]float64, len(probs))
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
+	total := cum[len(cum)-1]
+	counts := make(map[uint64]int)
+	for i := 0; i < shots; i++ {
+		r := rng.Float64() * total
+		idx := sort.SearchFloat64s(cum, r)
+		if idx >= len(cum) {
+			idx = len(cum) - 1
+		}
+		counts[uint64(idx)]++
+	}
+	return counts
+}
+
+// ExpectationFromDistribution evaluates a diagonal Hamiltonian against an
+// explicit probability distribution.
+func ExpectationFromDistribution(h *pauli.Hamiltonian, probs []float64) (float64, error) {
+	vals, err := h.DiagonalValues()
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) != len(probs) {
+		return 0, fmt.Errorf("qsim: Hamiltonian dimension %d vs distribution %d", len(vals), len(probs))
+	}
+	var e float64
+	for i, p := range probs {
+		e += p * vals[i]
+	}
+	return e, nil
+}
+
+// Purity returns Tr(rho^2): 1 for pure states, 1/2^n for the maximally
+// mixed state — a convenient scalar summary of accumulated noise.
+func (d *DensityMatrix) Purity() float64 {
+	var t float64
+	// Tr(rho^2) = sum_{ij} rho_ij rho_ji = sum_{ij} |rho_ij|^2 (Hermitian).
+	for _, v := range d.rho {
+		t += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return t
+}

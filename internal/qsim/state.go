@@ -1,0 +1,370 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/pauli"
+)
+
+// State is a pure quantum state on n qubits: 2^n complex amplitudes with
+// qubit q addressed by bit q of the basis index.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState prepares |0...0> on n qubits.
+func NewState(n int) *State {
+	if n <= 0 || n > 30 {
+		panic(fmt.Sprintf("qsim: unsupported qubit count %d", n))
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s
+}
+
+// N reports the qubit count.
+func (s *State) N() int { return s.n }
+
+// Amplitudes returns the raw amplitude slice (do not mutate).
+func (s *State) Amplitudes() []complex128 { return s.amp }
+
+// Norm returns the 2-norm of the state (1 for any unitary evolution).
+func (s *State) Norm() float64 {
+	var t float64
+	for _, a := range s.amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(t)
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(c.amp, s.amp)
+	return c
+}
+
+// Reset returns the state to |0...0>.
+func (s *State) Reset() {
+	for i := range s.amp {
+		s.amp[i] = 0
+	}
+	s.amp[0] = 1
+}
+
+// apply1Q applies the 2x2 matrix m to qubit q.
+func (s *State) apply1Q(q int, m [2][2]complex128) {
+	bit := 1 << uint(q)
+	dim := len(s.amp)
+	for base := 0; base < dim; base += bit << 1 {
+		for i := base; i < base+bit; i++ {
+			a0 := s.amp[i]
+			a1 := s.amp[i|bit]
+			s.amp[i] = m[0][0]*a0 + m[0][1]*a1
+			s.amp[i|bit] = m[1][0]*a0 + m[1][1]*a1
+		}
+	}
+}
+
+func (s *State) applyCNOT(ctl, tgt int) {
+	cb := 1 << uint(ctl)
+	tb := 1 << uint(tgt)
+	for i := range s.amp {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+func (s *State) applyCZ(a, b int) {
+	ab := 1 << uint(a)
+	bb := 1 << uint(b)
+	for i := range s.amp {
+		if i&ab != 0 && i&bb != 0 {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+func (s *State) applySWAP(a, b int) {
+	ab := 1 << uint(a)
+	bb := 1 << uint(b)
+	for i := range s.amp {
+		if i&ab != 0 && i&bb == 0 {
+			j := i&^ab | bb
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// applyRZZ applies exp(-i theta/2 Z_a Z_b), a diagonal phase.
+func (s *State) applyRZZ(a, b int, theta float64) {
+	ab := 1 << uint(a)
+	bb := 1 << uint(b)
+	pPlus := complex(math.Cos(theta/2), -math.Sin(theta/2)) // parity even
+	pMinus := complex(math.Cos(theta/2), math.Sin(theta/2)) // parity odd
+	for i := range s.amp {
+		even := (i&ab != 0) == (i&bb != 0)
+		if even {
+			s.amp[i] *= pPlus
+		} else {
+			s.amp[i] *= pMinus
+		}
+	}
+}
+
+// applyPauliRot applies exp(-i theta/2 P) = cos(theta/2) I - i sin(theta/2) P.
+func (s *State) applyPauliRot(p pauli.String, theta float64) {
+	x := p.XMask()
+	z := p.ZMask()
+	nY := 0
+	for q := 0; q < p.N(); q++ {
+		if p.At(q) == pauli.Y {
+			nY++
+		}
+	}
+	cosT := complex(math.Cos(theta/2), 0)
+	minusISin := complex(0, -math.Sin(theta/2))
+	iPow := iPower(nY)
+	if x == 0 {
+		// Diagonal: amp[b] *= cos - i sin * (-1)^{parity(b&z)}.
+		for b := range s.amp {
+			sign := complex(1, 0)
+			if parity(uint64(b) & z) {
+				sign = -1
+			}
+			s.amp[b] *= cosT + minusISin*iPow*sign
+		}
+		return
+	}
+	xi := int(x)
+	for b := range s.amp {
+		b2 := b ^ xi
+		if b > b2 {
+			continue // each pair is processed once, at its smaller index
+		}
+		// c(b) carries the phase of P|b> = c(b)|b^x>.
+		cb := iPow * signC(uint64(b)&z)
+		cb2 := iPow * signC(uint64(b2)&z)
+		a, a2 := s.amp[b], s.amp[b2]
+		// (P psi)[b] = c(b^x) psi[b^x]; new = cos*psi - i sin * P psi.
+		s.amp[b] = cosT*a + minusISin*cb2*a2
+		s.amp[b2] = cosT*a2 + minusISin*cb*a
+	}
+}
+
+func signC(masked uint64) complex128 {
+	if parity(masked) {
+		return -1
+	}
+	return 1
+}
+
+func iPower(k int) complex128 {
+	switch k % 4 {
+	case 0:
+		return 1
+	case 1:
+		return complex(0, 1)
+	case 2:
+		return -1
+	default:
+		return complex(0, -1)
+	}
+}
+
+func parity(x uint64) bool {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x&1 == 1
+}
+
+// gateMatrix returns the 2x2 matrix of a single-qubit gate kind.
+func gateMatrix(k Kind, theta float64) [2][2]complex128 {
+	inv := complex(1/math.Sqrt2, 0)
+	c := complex(math.Cos(theta/2), 0)
+	sI := complex(0, math.Sin(theta/2))
+	switch k {
+	case GateH:
+		return [2][2]complex128{{inv, inv}, {inv, -inv}}
+	case GateX:
+		return [2][2]complex128{{0, 1}, {1, 0}}
+	case GateY:
+		return [2][2]complex128{{0, complex(0, -1)}, {complex(0, 1), 0}}
+	case GateZ:
+		return [2][2]complex128{{1, 0}, {0, -1}}
+	case GateS:
+		return [2][2]complex128{{1, 0}, {0, complex(0, 1)}}
+	case GateSdg:
+		return [2][2]complex128{{1, 0}, {0, complex(0, -1)}}
+	case GateT:
+		return [2][2]complex128{{1, 0}, {0, complex(math.Cos(math.Pi/4), math.Sin(math.Pi/4))}}
+	case GateRX:
+		return [2][2]complex128{{c, -sI}, {-sI, c}}
+	case GateRY:
+		sR := complex(math.Sin(theta/2), 0)
+		return [2][2]complex128{{c, -sR}, {sR, c}}
+	case GateRZ:
+		return [2][2]complex128{
+			{complex(math.Cos(theta/2), -math.Sin(theta/2)), 0},
+			{0, complex(math.Cos(theta/2), math.Sin(theta/2))},
+		}
+	default:
+		panic(fmt.Sprintf("qsim: %v is not a single-qubit matrix gate", k))
+	}
+}
+
+// ApplyGate applies one gate with resolved parameters.
+func (s *State) ApplyGate(g Gate, params []float64) error {
+	theta, err := g.Angle(params)
+	if err != nil {
+		return err
+	}
+	switch g.Kind {
+	case GateCNOT:
+		s.applyCNOT(g.Qubits[0], g.Qubits[1])
+	case GateCZ:
+		s.applyCZ(g.Qubits[0], g.Qubits[1])
+	case GateSWAP:
+		s.applySWAP(g.Qubits[0], g.Qubits[1])
+	case GateRZZ:
+		s.applyRZZ(g.Qubits[0], g.Qubits[1], theta)
+	case GatePauliRot:
+		s.applyPauliRot(g.Pauli, theta)
+	default:
+		s.apply1Q(g.Qubits[0], gateMatrix(g.Kind, theta))
+	}
+	return nil
+}
+
+// Run executes a circuit from |0...0> and returns the final state.
+func Run(c *Circuit, params []float64) (*State, error) {
+	if err := c.Validate(params); err != nil {
+		return nil, err
+	}
+	s := NewState(c.N())
+	for _, g := range c.Gates() {
+		if err := s.ApplyGate(g, params); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Probabilities returns |amp|^2 for every basis state.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.amp))
+	for i, a := range s.amp {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// ExpectationPauli computes <psi|P|psi> for a single Pauli string.
+func (s *State) ExpectationPauli(p pauli.String) (float64, error) {
+	if p.N() != s.n {
+		return 0, fmt.Errorf("qsim: %d-qubit observable on %d-qubit state", p.N(), s.n)
+	}
+	x := p.XMask()
+	z := p.ZMask()
+	nY := 0
+	for q := 0; q < p.N(); q++ {
+		if p.At(q) == pauli.Y {
+			nY++
+		}
+	}
+	iPow := iPower(nY)
+	var acc complex128
+	xi := int(x)
+	for b := range s.amp {
+		// <psi|P|psi> = sum_b conj(psi[b^x]) c(b) psi[b].
+		cb := iPow * signC(uint64(b)&z)
+		acc += complexConj(s.amp[b^xi]) * cb * s.amp[b]
+	}
+	return real(acc), nil
+}
+
+func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// Expectation computes <psi|H|psi> for a Pauli-sum Hamiltonian.
+func (s *State) Expectation(h *pauli.Hamiltonian) (float64, error) {
+	if h.N() != s.n {
+		return 0, fmt.Errorf("qsim: %d-qubit Hamiltonian on %d-qubit state", h.N(), s.n)
+	}
+	var total float64
+	for _, t := range h.Terms() {
+		e, err := s.ExpectationPauli(t.P)
+		if err != nil {
+			return 0, err
+		}
+		total += t.Coeff * e
+	}
+	return total, nil
+}
+
+// Sample draws shots basis-state measurements and returns the observed
+// bitstring counts.
+func (s *State) Sample(shots int, rng *rand.Rand) map[uint64]int {
+	probs := s.Probabilities()
+	cum := make([]float64, len(probs))
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
+	// Normalize against accumulated float error.
+	total := cum[len(cum)-1]
+	counts := make(map[uint64]int)
+	for i := 0; i < shots; i++ {
+		r := rng.Float64() * total
+		idx := sort.SearchFloat64s(cum, r)
+		if idx >= len(cum) {
+			idx = len(cum) - 1
+		}
+		counts[uint64(idx)]++
+	}
+	return counts
+}
+
+// SampledExpectation estimates <H> for a diagonal Hamiltonian from a finite
+// number of measurement shots, reproducing hardware-style shot noise.
+func (s *State) SampledExpectation(h *pauli.Hamiltonian, shots int, rng *rand.Rand) (float64, error) {
+	if !h.IsDiagonal() {
+		return 0, fmt.Errorf("qsim: sampled expectation requires a diagonal Hamiltonian")
+	}
+	if shots <= 0 {
+		return 0, fmt.Errorf("qsim: shots must be positive, got %d", shots)
+	}
+	counts := s.Sample(shots, rng)
+	var total float64
+	for b, c := range counts {
+		v, err := h.EvalBitstring(b)
+		if err != nil {
+			return 0, err
+		}
+		total += v * float64(c)
+	}
+	return total / float64(shots), nil
+}
+
+// Fidelity returns |<a|b>|^2, the state overlap used to compare noisy
+// against ideal evolutions.
+func Fidelity(a, b *State) (float64, error) {
+	if a.n != b.n {
+		return 0, fmt.Errorf("qsim: fidelity of %d- and %d-qubit states", a.n, b.n)
+	}
+	var ip complex128
+	for i := range a.amp {
+		ip += complexConj(a.amp[i]) * b.amp[i]
+	}
+	return real(ip)*real(ip) + imag(ip)*imag(ip), nil
+}

@@ -1,0 +1,116 @@
+package qsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pauli"
+)
+
+// Trajectory simulation: noisy expectation values by averaging pure-state
+// runs with stochastically inserted Pauli errors. This is the standard
+// middle ground between the exact density-matrix simulator (4^n memory,
+// <= 13 qubits) and the analytic damping model: memory stays 2^n while the
+// channel converges to the exact depolarizing channel as trajectories grow.
+
+// TrajectoryOptions configures a stochastic noisy simulation.
+type TrajectoryOptions struct {
+	// P1 and P2 are the depolarizing probabilities per one- and two-qubit
+	// gate.
+	P1, P2 float64
+	// Trajectories is the number of pure-state samples to average
+	// (default 200).
+	Trajectories int
+	// Seed drives error insertion.
+	Seed int64
+}
+
+func (o *TrajectoryOptions) fill() error {
+	if o.P1 < 0 || o.P1 > 1 || o.P2 < 0 || o.P2 > 1 {
+		return fmt.Errorf("qsim: trajectory error rates out of range: p1=%g p2=%g", o.P1, o.P2)
+	}
+	if o.Trajectories == 0 {
+		o.Trajectories = 200
+	}
+	if o.Trajectories < 1 {
+		return fmt.Errorf("qsim: need >= 1 trajectory, got %d", o.Trajectories)
+	}
+	return nil
+}
+
+// pauliOn applies one random non-identity Pauli on qubit q.
+func pauliOn(s *State, q int, which int) {
+	switch which {
+	case 0:
+		s.apply1Q(q, gateMatrix(GateX, 0))
+	case 1:
+		s.apply1Q(q, gateMatrix(GateY, 0))
+	default:
+		s.apply1Q(q, gateMatrix(GateZ, 0))
+	}
+}
+
+// runTrajectory executes one noisy pure-state run: after every gate, each
+// touched qubit suffers a uniformly random non-identity Pauli with the
+// channel probability. For the two-qubit channel, one of the 15 non-identity
+// two-qubit Paulis is applied.
+func runTrajectory(c *Circuit, params []float64, opt TrajectoryOptions, rng *rand.Rand) (*State, error) {
+	s := NewState(c.N())
+	for _, g := range c.Gates() {
+		if err := s.ApplyGate(g, params); err != nil {
+			return nil, err
+		}
+		switch {
+		case len(g.Qubits) == 1:
+			if opt.P1 > 0 && rng.Float64() < opt.P1 {
+				pauliOn(s, g.Qubits[0], rng.Intn(3))
+			}
+		case len(g.Qubits) == 2:
+			if opt.P2 > 0 && rng.Float64() < opt.P2 {
+				// Pick one of the 15 non-identity pairs.
+				k := 1 + rng.Intn(15)
+				a, b := k/4, k%4
+				if a > 0 {
+					pauliOn(s, g.Qubits[0], a-1)
+				}
+				if b > 0 {
+					pauliOn(s, g.Qubits[1], b-1)
+				}
+			}
+		case g.Kind == GatePauliRot:
+			if opt.P1 > 0 {
+				for q := 0; q < g.Pauli.N(); q++ {
+					if g.Pauli.At(q) != pauli.I && rng.Float64() < opt.P1 {
+						pauliOn(s, q, rng.Intn(3))
+					}
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// TrajectoryExpectation estimates Tr(rho H) under per-gate depolarizing
+// noise by averaging pure-state trajectories.
+func TrajectoryExpectation(c *Circuit, params []float64, h *pauli.Hamiltonian, opt TrajectoryOptions) (float64, error) {
+	if err := opt.fill(); err != nil {
+		return 0, err
+	}
+	if h.N() != c.N() {
+		return 0, fmt.Errorf("qsim: %d-qubit Hamiltonian for %d-qubit circuit", h.N(), c.N())
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var total float64
+	for t := 0; t < opt.Trajectories; t++ {
+		s, err := runTrajectory(c, params, opt, rng)
+		if err != nil {
+			return 0, err
+		}
+		e, err := s.Expectation(h)
+		if err != nil {
+			return 0, err
+		}
+		total += e
+	}
+	return total / float64(opt.Trajectories), nil
+}

@@ -1,0 +1,112 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func TestTrajectoryMatchesDensityMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	n := 4
+	c := randomCircuit(n, 15, rng)
+	h := pauli.NewHamiltonian(n)
+	h.MustAdd(1, pauli.ZZ(n, 0, 1))
+	h.MustAdd(-0.5, pauli.SingleZ(n, 2))
+	h.MustAdd(0.25, pauli.ZZ(n, 1, 3))
+
+	p1, p2 := 0.01, 0.03
+	dm, err := RunDensity(c, nil, func(d *DensityMatrix, g Gate) error {
+		switch len(g.Qubits) {
+		case 1:
+			return d.Depolarize1Q(g.Qubits[0], p1)
+		case 2:
+			return d.Depolarize2Q(g.Qubits[0], g.Qubits[1], p2)
+		default:
+			for q := 0; q < g.Pauli.N(); q++ {
+				if g.Pauli.At(q) != pauli.I {
+					if err := d.Depolarize1Q(q, p1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := dm.Expectation(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := TrajectoryExpectation(c, nil, h, TrajectoryOptions{
+		P1: p1, P2: p2, Trajectories: 6000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monte-Carlo estimate: tolerance ~ few/sqrt(trajectories) scaled by
+	// the observable spread (~1.75 here).
+	if math.Abs(est-exact) > 0.08 {
+		t.Fatalf("trajectory %g vs density matrix %g", est, exact)
+	}
+}
+
+func TestTrajectoryZeroNoiseIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	n := 3
+	c := randomCircuit(n, 12, rng)
+	h := pauli.NewHamiltonian(n)
+	h.MustAdd(1, pauli.ZZ(n, 0, 2))
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.Expectation(h)
+	got, err := TrajectoryExpectation(c, nil, h, TrajectoryOptions{Trajectories: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("noiseless trajectory %g vs exact %g", got, want)
+	}
+}
+
+func TestTrajectoryValidation(t *testing.T) {
+	c := NewCircuit(2).H(0)
+	h := pauli.NewHamiltonian(2)
+	h.MustAdd(1, pauli.ZZ(2, 0, 1))
+	if _, err := TrajectoryExpectation(c, nil, h, TrajectoryOptions{P1: -0.1}); err == nil {
+		t.Error("want error for negative rate")
+	}
+	if _, err := TrajectoryExpectation(c, nil, h, TrajectoryOptions{Trajectories: -5}); err == nil {
+		t.Error("want error for negative trajectories")
+	}
+	h3 := pauli.NewHamiltonian(3)
+	h3.MustAdd(1, pauli.ZZ(3, 0, 1))
+	if _, err := TrajectoryExpectation(c, nil, h3, TrajectoryOptions{}); err == nil {
+		t.Error("want error for dimension mismatch")
+	}
+}
+
+func TestTrajectoryDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	c := randomCircuit(3, 10, rng)
+	h := pauli.NewHamiltonian(3)
+	h.MustAdd(1, pauli.SingleZ(3, 0))
+	opt := TrajectoryOptions{P1: 0.05, P2: 0.1, Trajectories: 50, Seed: 9}
+	v1, err := TrajectoryExpectation(c, nil, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := TrajectoryExpectation(c, nil, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("nondeterministic: %g vs %g", v1, v2)
+	}
+}

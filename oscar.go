@@ -1,0 +1,241 @@
+// Package oscar is the public API of this OSCAR reproduction — compressed-
+// sensing based cost-landscape reconstruction for debugging and tuning
+// variational quantum algorithms (Liu, Hao, Tannu; ISCA 2023).
+//
+// The typical workflow is:
+//
+//	prob, _ := oscar.Random3RegularMaxCut(16, rng)     // pick a problem
+//	eval, _ := oscar.NewAnalyticQAOA(prob, oscar.IdealNoise()) // pick a device
+//	grid, _ := oscar.QAOAGrid(1, 50, 100)              // Table 1 grid
+//	recon, stats, _ := oscar.Reconstruct(grid, eval.Evaluate, oscar.Options{
+//		SamplingFraction: 0.05, Seed: 1,
+//	})
+//
+// recon is the full 50x100 landscape recovered from 5% of the circuit
+// executions; stats.Speedup reports the 20x saving. The sub-packages it
+// re-exports implement every substrate from scratch: state-vector and
+// density-matrix simulators, problem Hamiltonians and ansatzes, FFT/DCT and
+// l1 solvers, classical optimizers, noise mitigation, multi-QPU scheduling,
+// and the noise-compensation model.
+package oscar
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ansatz"
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/cs"
+	"repro/internal/interp"
+	"repro/internal/landscape"
+	"repro/internal/mitigation"
+	"repro/internal/ncm"
+	"repro/internal/noise"
+	"repro/internal/optimizer"
+	"repro/internal/problem"
+	"repro/internal/qpu"
+)
+
+// Core workflow types.
+type (
+	// Options configures a reconstruction (sampling fraction, seed,
+	// solver settings).
+	Options = core.Options
+	// Stats reports reconstruction cost and solver diagnostics.
+	Stats = core.Stats
+	// Landscape is a dense cost landscape over a parameter grid.
+	Landscape = landscape.Landscape
+	// Grid is a Cartesian parameter grid.
+	Grid = landscape.Grid
+	// Axis is one grid dimension.
+	Axis = landscape.Axis
+	// EvalFunc computes a cost at a parameter vector.
+	EvalFunc = landscape.EvalFunc
+	// Evaluator is a named cost evaluator (a simulated QPU).
+	Evaluator = backend.Evaluator
+	// Problem couples a cost Hamiltonian with metadata.
+	Problem = problem.Problem
+	// Ansatz is a parameterized circuit family instance.
+	Ansatz = ansatz.Ansatz
+	// NoiseProfile describes device error rates.
+	NoiseProfile = noise.Profile
+	// SolverOptions configures the compressed-sensing solver.
+	SolverOptions = cs.Options
+	// OptimizerResult reports an optimization run.
+	OptimizerResult = optimizer.Result
+	// NCModel is a fitted noise-compensation model.
+	NCModel = ncm.Model
+	// Bicubic is an interpolated landscape surface.
+	Bicubic = interp.Bicubic
+)
+
+// Reconstruct runs the OSCAR pipeline: random sampling, parallel execution,
+// compressed-sensing reconstruction.
+func Reconstruct(g *Grid, eval EvalFunc, opt Options) (*Landscape, *Stats, error) {
+	return core.Reconstruct(g, eval, opt)
+}
+
+// ReconstructFromSamples reconstructs from already-measured values.
+func ReconstructFromSamples(g *Grid, idx []int, values []float64, opt Options) (*Landscape, *Stats, error) {
+	return core.ReconstructFromSamples(g, idx, values, opt)
+}
+
+// GenerateDense runs the full grid search OSCAR replaces (ground truth).
+func GenerateDense(g *Grid, eval EvalFunc, workers int) (*Landscape, error) {
+	return landscape.Generate(g, eval, workers)
+}
+
+// NewGrid builds a parameter grid.
+func NewGrid(axes ...Axis) (*Grid, error) { return landscape.NewGrid(axes...) }
+
+// QAOAGrid builds the paper's Table 1 (beta, gamma) grid for depth-p QAOA
+// with the given axis resolutions.
+func QAOAGrid(p, betaN, gammaN int) (*Grid, error) {
+	bMin, bMax, gMin, gMax := ansatz.QAOAGridAxes(p)
+	return landscape.NewGrid(
+		landscape.Axis{Name: "beta", Min: bMin, Max: bMax, N: betaN},
+		landscape.Axis{Name: "gamma", Min: gMin, Max: gMax, N: gammaN},
+	)
+}
+
+// NRMSE is the paper's reconstruction-error metric (Equation 1).
+func NRMSE(truth, recon *Landscape) (float64, error) {
+	return landscape.NRMSE(truth.Data, recon.Data)
+}
+
+// Problems.
+
+// Random3RegularMaxCut builds MaxCut on a random 3-regular graph.
+func Random3RegularMaxCut(n int, rng *rand.Rand) (*Problem, error) {
+	return problem.Random3RegularMaxCut(n, rng)
+}
+
+// MeshMaxCut builds MaxCut on a rows x cols mesh graph.
+func MeshMaxCut(rows, cols int) (*Problem, error) { return problem.MeshMaxCut(rows, cols) }
+
+// SKProblem builds a Sherrington-Kirkpatrick instance.
+func SKProblem(n int, rng *rand.Rand) (*Problem, error) { return problem.SK(n, rng) }
+
+// H2 returns the 2-qubit hydrogen Hamiltonian.
+func H2() *Problem { return problem.H2() }
+
+// LiH returns the 4-qubit lithium-hydride-like Hamiltonian.
+func LiH() *Problem { return problem.LiH() }
+
+// Ansatzes.
+
+// QAOAAnsatz builds the depth-p QAOA circuit for a graph problem.
+func QAOAAnsatz(p *Problem, depth int) (*Ansatz, error) { return ansatz.QAOA(p.Graph, depth) }
+
+// TwoLocalAnsatz builds the hardware-efficient Two-local ansatz.
+func TwoLocalAnsatz(n, reps int) (*Ansatz, error) { return ansatz.TwoLocal(n, reps) }
+
+// UCCSDH2Ansatz builds the 3-parameter UCCSD-style H2 ansatz.
+func UCCSDH2Ansatz() (*Ansatz, error) { return ansatz.UCCSDH2() }
+
+// UCCSDLiHAnsatz builds the 8-parameter UCCSD-style LiH ansatz.
+func UCCSDLiHAnsatz() (*Ansatz, error) { return ansatz.UCCSDLiH() }
+
+// Evaluators (simulated QPUs).
+
+// NewStateVector builds the exact ideal evaluator.
+func NewStateVector(p *Problem, a *Ansatz) (Evaluator, error) { return backend.NewStateVector(p, a) }
+
+// NewDensity builds the exact noisy evaluator (<= 13 qubits).
+func NewDensity(p *Problem, a *Ansatz, prof NoiseProfile) (Evaluator, error) {
+	return backend.NewDensity(p, a, prof)
+}
+
+// NewAnalyticQAOA builds the closed-form depth-1 QAOA evaluator.
+func NewAnalyticQAOA(p *Problem, prof NoiseProfile) (*backend.AnalyticQAOA, error) {
+	return backend.NewAnalyticQAOA(p, prof)
+}
+
+// WithShots wraps an evaluator with finite-shot sampling noise.
+func WithShots(inner Evaluator, shots int, spread float64, seed int64) (Evaluator, error) {
+	return backend.NewWithShots(inner, shots, spread, seed)
+}
+
+// Noise profiles.
+
+// IdealNoise is the noise-free device profile.
+func IdealNoise() NoiseProfile { return noise.Ideal() }
+
+// DepolarizingNoise builds a depolarizing profile with the given one- and
+// two-qubit error rates.
+func DepolarizingNoise(name string, p1, p2 float64) NoiseProfile {
+	return NoiseProfile{Name: name, P1: p1, P2: p2}
+}
+
+// Interpolation and optimization on reconstructed landscapes.
+
+// Interpolate fits the paper's rectangular bivariate spline to a 2-D
+// landscape so optimizers can query it continuously.
+func Interpolate(l *Landscape) (*Bicubic, error) {
+	if _, _, err := l.Shape2D(); err != nil {
+		return nil, err
+	}
+	return interp.NewBicubic(l.Grid.Axes[0].Values(), l.Grid.Axes[1].Values(), l.Data)
+}
+
+// InterpolatedObjective adapts an interpolated landscape into an optimizer
+// objective (an instant, QPU-free cost query).
+func InterpolatedObjective(b *Bicubic) optimizer.Objective {
+	return func(x []float64) (float64, error) {
+		if len(x) < 2 {
+			return 0, errInterpArity
+		}
+		return b.At(x[0], x[1]), nil
+	}
+}
+
+var errInterpArity = errArity{}
+
+type errArity struct{}
+
+func (errArity) Error() string { return "oscar: interpolated objective needs 2 parameters" }
+
+// RunADAM minimizes an objective with ADAM (finite-difference gradients).
+func RunADAM(f optimizer.Objective, x0 []float64, opt optimizer.ADAMOptions) (*OptimizerResult, error) {
+	return optimizer.ADAM(f, x0, opt)
+}
+
+// RunCobyla minimizes an objective with the COBYLA-style trust-region
+// method.
+func RunCobyla(f optimizer.Objective, x0 []float64, opt optimizer.CobylaOptions) (*OptimizerResult, error) {
+	return optimizer.Cobyla(f, x0, opt)
+}
+
+// FitNCM trains a noise-compensation model from paired device measurements.
+func FitNCM(source, reference []float64) (*NCModel, error) { return ncm.Fit(source, reference) }
+
+// NewZNE wraps a noise-scalable evaluator with zero-noise extrapolation.
+func NewZNE(inner mitigation.ScalableEvaluator, scales []float64, model mitigation.Extrapolation) (Evaluator, error) {
+	return mitigation.NewZNE(inner, scales, model)
+}
+
+// Multi-QPU execution.
+
+// NewExecutor builds a virtual-time multi-QPU executor.
+func NewExecutor(seed int64, devices ...qpu.Device) (*qpu.Executor, error) {
+	return qpu.NewExecutor(seed, devices...)
+}
+
+// Device couples an evaluator with a latency model.
+type Device = qpu.Device
+
+// DefaultLatency is a cloud-QPU-like latency model.
+func DefaultLatency() qpu.LatencyModel { return qpu.DefaultLatency() }
+
+// ClampAngle wraps an angle into [-pi, pi], a convenience for initial
+// points produced by optimizers.
+func ClampAngle(x float64) float64 {
+	for x > math.Pi {
+		x -= 2 * math.Pi
+	}
+	for x < -math.Pi {
+		x += 2 * math.Pi
+	}
+	return x
+}

@@ -1,0 +1,155 @@
+package oscar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/optimizer"
+)
+
+// TestPublicWorkflow exercises the documented end-to-end API: problem ->
+// device -> grid -> reconstruct -> interpolate -> optimize.
+func TestPublicWorkflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prob, err := Random3RegularMaxCut(12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewAnalyticQAOA(prob, DepolarizingNoise("d", 0.001, 0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := QAOAGrid(1, 30, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, stats, err := Reconstruct(grid, dev.Evaluate, Options{SamplingFraction: 0.08, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Samples != 144 {
+		t.Fatalf("samples %d", stats.Samples)
+	}
+	truth, err := GenerateDense(grid, dev.Evaluate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := NRMSE(truth, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr > 0.1 {
+		t.Fatalf("NRMSE %g", nr)
+	}
+
+	surf, err := Interpolate(recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := InterpolatedObjective(surf)
+	res, err := RunADAM(obj, []float64{0.1, 0.1}, optimizer.ADAMOptions{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minV, _ := recon.Min()
+	if res.F > minV+1 {
+		t.Fatalf("optimizer on interpolation found %g, landscape min %g", res.F, minV)
+	}
+	if _, err := obj([]float64{1}); err == nil {
+		t.Fatal("want arity error from interpolated objective")
+	}
+}
+
+func TestPublicProblemConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := SKProblem(6, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeshMaxCut(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if H2().N() != 2 || LiH().N() != 4 {
+		t.Fatal("molecule sizes wrong")
+	}
+	a, err := TwoLocalAnsatz(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumParams != 8 {
+		t.Fatalf("two-local params %d", a.NumParams)
+	}
+	if _, err := UCCSDH2Ansatz(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UCCSDLiHAnsatz(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicEvaluators(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prob, err := Random3RegularMaxCut(6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := QAOAAnsatz(prob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewStateVector(prob, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := NewDensity(prob, a, IdealNoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := sv.Evaluate([]float64{0.2, -0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := dm.Evaluate([]float64{0.2, -0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1-v2) > 1e-8 {
+		t.Fatalf("sv %g vs dm %g", v1, v2)
+	}
+	ws, err := WithShots(sv, 4096, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := ws.Evaluate([]float64{0.2, -0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v3-v1) > 0.2 {
+		t.Fatalf("shot noise too large: %g vs %g", v3, v1)
+	}
+}
+
+func TestFitNCMPublic(t *testing.T) {
+	m, err := FitNCM([]float64{0, 1, 2}, []float64{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Slope-2) > 1e-12 || math.Abs(m.Intercept-1) > 1e-12 {
+		t.Fatalf("fit %+v", m)
+	}
+}
+
+func TestClampAngle(t *testing.T) {
+	cases := map[float64]float64{
+		0:               0,
+		3 * math.Pi:     math.Pi,
+		-3 * math.Pi:    -math.Pi,
+		math.Pi / 2:     math.Pi / 2,
+		2*math.Pi + 0.1: 0.1,
+	}
+	for in, want := range cases {
+		if got := ClampAngle(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("ClampAngle(%g)=%g want %g", in, got, want)
+		}
+	}
+}
