@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,9 +38,14 @@ func main() {
 	}
 
 	// 4. OSCAR: measure 5% of the grid at random, reconstruct the rest.
-	recon, stats, err := oscar.Reconstruct(grid, dev.Evaluate, oscar.Options{
+	//    The sampled circuits run through the batched execution engine —
+	//    the device's native batch path, a memoizing cache, and
+	//    cancellation via ctx.
+	cache := oscar.NewEvalCache(0)
+	recon, stats, err := oscar.ReconstructBatch(context.Background(), grid, oscar.Batch(dev), oscar.Options{
 		SamplingFraction: 0.05,
 		Seed:             1,
+		Cache:            cache,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -48,7 +54,7 @@ func main() {
 		stats.Samples, stats.GridSize, stats.Speedup)
 
 	// 5. Compare with the dense grid search it replaced.
-	truth, err := oscar.GenerateDense(grid, dev.Evaluate, 0)
+	truth, err := oscar.GenerateDenseBatch(context.Background(), grid, oscar.Batch(dev), 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,10 +5,13 @@
 package backend
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
-	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ansatz"
 	"repro/internal/noise"
@@ -27,6 +30,39 @@ type Evaluator interface {
 	NumParams() int
 	// Evaluate returns the cost <H> at params.
 	Evaluate(params []float64) (float64, error)
+}
+
+// batchEvaluator mirrors exec.BatchEvaluator structurally (backend cannot
+// import exec — exec imports backend) so wrappers can forward whole batches
+// to an inner evaluator's native batch path.
+type batchEvaluator interface {
+	EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error)
+}
+
+// evaluateBatch runs a batch on e, using its native batch implementation
+// when present and otherwise looping with ctx checks.
+func evaluateBatch(ctx context.Context, e Evaluator, params [][]float64) ([]float64, error) {
+	if b, ok := e.(batchEvaluator); ok {
+		return b.EvaluateBatch(ctx, params)
+	}
+	return evalPointwise(ctx, e.Evaluate, params)
+}
+
+// evalPointwise is the shared batch fallback: evaluate each point in order,
+// checking ctx between points.
+func evalPointwise(ctx context.Context, eval func([]float64) (float64, error), params [][]float64) ([]float64, error) {
+	out := make([]float64, len(params))
+	for i, p := range params {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := eval(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // StateVector is the exact (infinite-shot) ideal evaluator.
@@ -61,6 +97,12 @@ func (e *StateVector) Evaluate(params []float64) (float64, error) {
 		return 0, err
 	}
 	return s.Expectation(e.prob.Hamiltonian)
+}
+
+// EvaluateBatch implements exec.BatchEvaluator natively, checking ctx
+// between circuit executions.
+func (e *StateVector) EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error) {
+	return evalPointwise(ctx, e.Evaluate, params)
 }
 
 // Density is the exact noisy evaluator: density-matrix simulation with
@@ -150,6 +192,13 @@ func (e *Density) Evaluate(params []float64) (float64, error) {
 	return total, nil
 }
 
+// EvaluateBatch implements exec.BatchEvaluator natively. Density-matrix
+// evaluations are the heaviest per-point cost in the repo (4^n state), so
+// mid-batch cancellation matters most here.
+func (e *Density) EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error) {
+	return evalPointwise(ctx, e.Evaluate, params)
+}
+
 // AnalyticQAOA evaluates depth-1 QAOA cut costs through the closed-form
 // engine, optionally with analytic depolarizing damping. It makes the
 // paper's 16-30 qubit landscapes cheap.
@@ -157,7 +206,18 @@ type AnalyticQAOA struct {
 	name   string
 	engine *qaoa.Engine
 	damp   []float64 // nil for ideal
+
+	// gammaCache memoizes the beta-independent factors per gamma for the
+	// batch path: grid batches revisit each gamma once per beta row, so
+	// the O(|E|*n) neighbor products are paid once per gamma instead of
+	// once per point. Keys are float bits; the size cap keeps pathological
+	// workloads (optimizers wandering through fresh gammas) bounded.
+	gammaCache sync.Map
+	gammaLen   atomic.Int64
 }
+
+// maxGammaEntries bounds the gamma-factor cache (a Table 1 grid needs 100).
+const maxGammaEntries = 4096
 
 // NewAnalyticQAOA builds the analytic evaluator for a cut problem. The
 // profile's depolarizing rates are folded into per-edge damping factors;
@@ -198,21 +258,69 @@ func (e *AnalyticQAOA) Evaluate(params []float64) (float64, error) {
 	return e.engine.Cost(params[0], params[1], e.damp), nil
 }
 
+// gammaFactors returns the memoized beta-independent factors at gamma.
+func (e *AnalyticQAOA) gammaFactors(gamma float64) *qaoa.GammaFactors {
+	key := math.Float64bits(gamma)
+	if v, ok := e.gammaCache.Load(key); ok {
+		return v.(*qaoa.GammaFactors)
+	}
+	gf := e.engine.Gamma(gamma)
+	if e.gammaLen.Load() < maxGammaEntries {
+		if _, loaded := e.gammaCache.LoadOrStore(key, gf); !loaded {
+			e.gammaLen.Add(1)
+		}
+	}
+	return gf
+}
+
+// EvaluateBatch implements exec.BatchEvaluator natively: the per-gamma
+// neighbor products are computed once and shared across every beta in the
+// batch (and across batches), so a grid scan costs O(|E|) per point instead
+// of O(|E|*n) — the fast path for the paper's 16-30 qubit landscape sweeps.
+// Values are bit-identical to Evaluate.
+func (e *AnalyticQAOA) EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(params))
+	for i, p := range params {
+		if len(p) < 2 {
+			return nil, fmt.Errorf("backend: analytic QAOA needs [beta, gamma], got %d params", len(p))
+		}
+		out[i] = e.engine.CostAt(p[0], e.gammaFactors(p[1]), e.damp)
+	}
+	return out, nil
+}
+
 // WithShots wraps an evaluator with finite-shot sampling noise: Gaussian
 // noise with standard deviation spread/sqrt(shots), the leading-order
 // statistics of averaging `shots` measurement outcomes. spread should be the
 // per-shot standard deviation scale of the cost observable (callers can use
-// ShotSpread for Hamiltonians). Sampling is seeded and thread-safe.
+// ShotSpread for Hamiltonians).
+//
+// Sampling is seeded, thread-safe, and lock-free. Point-at-a-time Evaluate
+// calls draw from per-call RNG streams derived from (seed, call number) via
+// an atomic counter, so parallel samplers never serialize on a shared lock.
+// EvaluateBatch instead derives each point's stream from (seed, epoch,
+// params): within an epoch the noise is a pure function of the point, which
+// makes batched landscapes bit-reproducible across worker counts and
+// chunkings and keeps the memoizing execution cache semantically sound —
+// but it also means re-running the same batch returns identical values.
+// Callers that repeat sweeps to average shot noise must call Resample
+// between sweeps to advance the epoch (and must not reuse a cache across
+// epochs). The two paths use different streams: for the same seed, Evaluate
+// and EvaluateBatch produce different (equally distributed) noise.
 type WithShots struct {
 	inner  Evaluator
 	shots  int
 	spread float64
-
-	mu  sync.Mutex
-	rng *rand.Rand
+	seed   int64
+	calls  atomic.Uint64
+	epoch  atomic.Uint64
 }
 
-// NewWithShots wraps inner with shot noise.
+// NewWithShots wraps inner with shot noise. See the WithShots type comment
+// for the determinism contract of the point and batch paths.
 func NewWithShots(inner Evaluator, shots int, spread float64, seed int64) (*WithShots, error) {
 	if shots <= 0 {
 		return nil, fmt.Errorf("backend: shots must be positive, got %d", shots)
@@ -224,7 +332,7 @@ func NewWithShots(inner Evaluator, shots int, spread float64, seed int64) (*With
 		inner:  inner,
 		shots:  shots,
 		spread: spread,
-		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
 	}, nil
 }
 
@@ -234,16 +342,67 @@ func (e *WithShots) Name() string { return fmt.Sprintf("%s@%dshots", e.inner.Nam
 // NumParams implements Evaluator.
 func (e *WithShots) NumParams() int { return e.inner.NumParams() }
 
-// Evaluate implements Evaluator.
+// splitmix64 is the SplitMix64 finalizer, used to whiten derived seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// noiseAt draws one standard normal from the stream derived from e.seed and
+// a stream discriminator, via Box-Muller on two splitmix64 outputs — a few
+// integer mixes per draw, so the lock-free path stays cheaper than the
+// evaluation it decorates.
+func (e *WithShots) noiseAt(stream uint64) float64 {
+	s := splitmix64(uint64(e.seed) ^ splitmix64(stream))
+	// Uniforms in (0,1]: the +1 keeps u1 away from log(0).
+	u1 := float64(splitmix64(s)>>11+1) / (1 << 53)
+	u2 := float64(splitmix64(s+0x9e3779b97f4a7c15)>>11) / (1 << 53)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// paramStream hashes a parameter vector into a stream discriminator.
+func paramStream(params []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range params {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Evaluate implements Evaluator: independent noise per call, lock-free.
 func (e *WithShots) Evaluate(params []float64) (float64, error) {
 	v, err := e.inner.Evaluate(params)
 	if err != nil {
 		return 0, err
 	}
-	e.mu.Lock()
-	g := e.rng.NormFloat64()
-	e.mu.Unlock()
+	g := e.noiseAt(e.calls.Add(1))
 	return v + g*e.spread/math.Sqrt(float64(e.shots)), nil
+}
+
+// Resample advances the batch noise epoch: subsequent EvaluateBatch calls
+// draw fresh (still deterministic) noise for every point. Use it between
+// repeated sweeps that average shot noise.
+func (e *WithShots) Resample() { e.epoch.Add(1) }
+
+// EvaluateBatch implements exec.BatchEvaluator: the inner evaluator runs the
+// whole batch (natively when it can), then each point receives noise from
+// its (epoch, params)-derived stream — deterministic however the batch is
+// chunked; call Resample to redraw.
+func (e *WithShots) EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error) {
+	vs, err := evaluateBatch(ctx, e.inner, params)
+	if err != nil {
+		return nil, err
+	}
+	scale := e.spread / math.Sqrt(float64(e.shots))
+	ep := splitmix64(e.epoch.Load())
+	for i, p := range params {
+		vs[i] += e.noiseAt(ep^paramStream(p)) * scale
+	}
+	return vs, nil
 }
 
 // ShotSpread estimates the per-shot standard deviation scale of a
@@ -260,11 +419,16 @@ func ShotSpread(h *pauli.Hamiltonian) float64 {
 }
 
 // Counting wraps an evaluator and counts queries — used to reproduce the
-// QPU-query accounting of Table 6.
+// QPU-query accounting of Table 6. The counter is a single atomic, so heavy
+// parallel sampling never contends on a lock.
+//
+// Count reports *submitted* evaluations: a point counts when Evaluate is
+// called and a batch counts all its points when the batch job is submitted,
+// whether or not execution completes — the same budget a QPU queue charges.
+// Both entry points therefore agree for identical submitted work.
 type Counting struct {
 	inner Evaluator
-	mu    sync.Mutex
-	n     int
+	n     atomic.Int64
 }
 
 // NewCounting wraps inner with a query counter.
@@ -278,31 +442,31 @@ func (e *Counting) NumParams() int { return e.inner.NumParams() }
 
 // Evaluate implements Evaluator.
 func (e *Counting) Evaluate(params []float64) (float64, error) {
-	e.mu.Lock()
-	e.n++
-	e.mu.Unlock()
+	e.n.Add(1)
 	return e.inner.Evaluate(params)
 }
 
-// Count returns the number of Evaluate calls so far.
-func (e *Counting) Count() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.n
+// EvaluateBatch implements exec.BatchEvaluator: one atomic add for the whole
+// batch, forwarding to the inner evaluator's native batch path when present.
+func (e *Counting) EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error) {
+	e.n.Add(int64(len(params)))
+	return evaluateBatch(ctx, e.inner, params)
 }
 
+// Count returns the number of submitted evaluations so far (batch points
+// included; see the type comment for the submission semantics).
+func (e *Counting) Count() int { return int(e.n.Load()) }
+
 // Reset zeroes the counter.
-func (e *Counting) Reset() {
-	e.mu.Lock()
-	e.n = 0
-	e.mu.Unlock()
-}
+func (e *Counting) Reset() { e.n.Store(0) }
 
 // Func adapts a plain function into an Evaluator.
 type Func struct {
 	Label  string
 	Params int
 	F      func(params []float64) (float64, error)
+	// BatchF optionally provides a native batch implementation.
+	BatchF func(ctx context.Context, params [][]float64) ([]float64, error)
 }
 
 // Name implements Evaluator.
@@ -313,3 +477,11 @@ func (e *Func) NumParams() int { return e.Params }
 
 // Evaluate implements Evaluator.
 func (e *Func) Evaluate(params []float64) (float64, error) { return e.F(params) }
+
+// EvaluateBatch implements exec.BatchEvaluator, preferring BatchF.
+func (e *Func) EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error) {
+	if e.BatchF != nil {
+		return e.BatchF(ctx, params)
+	}
+	return evalPointwise(ctx, e.F, params)
+}

@@ -1,0 +1,208 @@
+package backend
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ansatz"
+	"repro/internal/noise"
+	"repro/internal/problem"
+)
+
+// testPoints builds n in-range (beta, gamma) points.
+func testPoints(n int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{0.3 * math.Sin(float64(i)), 0.7 * math.Cos(float64(i))}
+	}
+	return pts
+}
+
+// TestNativeBatchMatchesPointwise checks every native EvaluateBatch returns
+// exactly what point-at-a-time Evaluate does.
+func TestNativeBatchMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p, err := problem.Random3RegularMaxCut(8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ansatz.QAOA(p.Graph, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewStateVector(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := NewDensity(p, a, noise.Profile{Name: "w", P1: 0.002, P2: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalyticQAOA(p, noise.Ideal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := testPoints(9)
+	for _, e := range []Evaluator{sv, dm, an} {
+		be, ok := e.(interface {
+			EvaluateBatch(context.Context, [][]float64) ([]float64, error)
+		})
+		if !ok {
+			t.Fatalf("%s has no native batch path", e.Name())
+		}
+		got, err := be.EvaluateBatch(context.Background(), pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pt := range pts {
+			want, err := e.Evaluate(pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Fatalf("%s: batch[%d]=%g, pointwise=%g", e.Name(), i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestWithShotsBatchDeterministic checks the batch path's noise is a pure
+// function of (seed, params): any chunking of the same points yields
+// bit-identical values, and different seeds yield different noise.
+func TestWithShotsBatchDeterministic(t *testing.T) {
+	inner := &Func{Label: "c", Params: 2, F: func(p []float64) (float64, error) { return p[0] + p[1], nil }}
+	ws, err := NewWithShots(inner, 256, 1.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := testPoints(40)
+	whole, err := ws.EvaluateBatch(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-run chunked in odd pieces, out of order.
+	chunked := make([]float64, len(pts))
+	for _, r := range [][2]int{{25, 40}, {0, 7}, {7, 25}} {
+		vs, err := ws.EvaluateBatch(context.Background(), pts[r[0]:r[1]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(chunked[r[0]:], vs)
+	}
+	for i := range whole {
+		if whole[i] != chunked[i] {
+			t.Fatalf("point %d: whole=%g chunked=%g", i, whole[i], chunked[i])
+		}
+	}
+	// Noise is present and seed-dependent.
+	ws2, _ := NewWithShots(inner, 256, 1.0, 12)
+	other, err := ws2.EvaluateBatch(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range whole {
+		clean := pts[i][0] + pts[i][1]
+		if whole[i] == clean {
+			t.Fatalf("point %d received no shot noise", i)
+		}
+		if whole[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(whole) {
+		t.Fatal("seeds 11 and 12 produced identical noise")
+	}
+}
+
+// TestWithShotsResample checks Resample advances the batch noise epoch:
+// identical batches differ across epochs but stay reproducible within one.
+func TestWithShotsResample(t *testing.T) {
+	inner := &Func{Label: "c", Params: 2, F: func(p []float64) (float64, error) { return 0, nil }}
+	ws, _ := NewWithShots(inner, 64, 1.0, 3)
+	pts := testPoints(30)
+	a1, err := ws.EvaluateBatch(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := ws.EvaluateBatch(context.Background(), pts)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same epoch not reproducible at %d", i)
+		}
+	}
+	ws.Resample()
+	b, _ := ws.EvaluateBatch(context.Background(), pts)
+	same := 0
+	for i := range a1 {
+		if a1[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a1) {
+		t.Fatal("Resample did not redraw batch noise")
+	}
+}
+
+// TestWithShotsBatchStats checks batch noise has the advertised spread.
+func TestWithShotsBatchStats(t *testing.T) {
+	inner := &Func{Label: "c", Params: 1, F: func(p []float64) (float64, error) { return 0, nil }}
+	ws, _ := NewWithShots(inner, 1024, 2.0, 5)
+	n := 4000
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{float64(i)} // distinct points, distinct streams
+	}
+	vs, err := ws.EvaluateBatch(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for _, v := range vs {
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	stdev := math.Sqrt(sumSq/float64(n) - mean*mean)
+	wantStd := 2.0 / math.Sqrt(1024)
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("mean %g want 0", mean)
+	}
+	if math.Abs(stdev-wantStd) > 0.01 {
+		t.Fatalf("stdev %g want %g", stdev, wantStd)
+	}
+}
+
+// TestCountingBatchAndConcurrency checks the atomic counter counts batch
+// points and parallel point evaluations without loss.
+func TestCountingBatchAndConcurrency(t *testing.T) {
+	inner := &Func{Label: "c", Params: 1, F: func(p []float64) (float64, error) { return 0, nil }}
+	ce := NewCounting(inner)
+	if _, err := ce.EvaluateBatch(context.Background(), testPoints(17)); err != nil {
+		t.Fatal(err)
+	}
+	if ce.Count() != 17 {
+		t.Fatalf("batch count %d want 17", ce.Count())
+	}
+	ce.Reset()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if _, err := ce.Evaluate([]float64{0}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ce.Count() != 16*500 {
+		t.Fatalf("concurrent count %d want %d", ce.Count(), 16*500)
+	}
+}

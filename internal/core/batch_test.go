@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/exec"
+	"repro/internal/landscape"
+	"repro/internal/noise"
+	"repro/internal/problem"
+)
+
+func analyticEvaluator(t *testing.T) (*landscape.Grid, *backend.AnalyticQAOA) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(404))
+	p, err := problem.Random3RegularMaxCut(12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := backend.NewAnalyticQAOA(p, noise.Profile{Name: "d", P1: 0.001, P2: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := landscape.NewGrid(
+		landscape.Axis{Name: "beta", Min: -0.8, Max: 0.8, N: 24},
+		landscape.Axis{Name: "gamma", Min: -1.6, Max: 1.6, N: 48},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ev
+}
+
+// TestReconstructBatchBitMatchesLegacy is the acceptance equivalence: for a
+// fixed seed the batch path (any worker count, native batch evaluator, with
+// or without cache) reproduces the legacy point-at-a-time path bit-for-bit.
+func TestReconstructBatchBitMatchesLegacy(t *testing.T) {
+	g, ev := analyticEvaluator(t)
+	opt := Options{SamplingFraction: 0.1, Seed: 42, Workers: 1}
+	ref, refStats, err := Reconstruct(g, ev.Evaluate, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for _, withCache := range []bool{false, true} {
+			o := opt
+			o.Workers = workers
+			if withCache {
+				o.Cache = exec.NewCache(0)
+			}
+			got, stats, err := ReconstructBatch(context.Background(), g, exec.FromEvaluator(ev), o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Samples != refStats.Samples {
+				t.Fatalf("workers=%d cache=%v: %d samples want %d", workers, withCache, stats.Samples, refStats.Samples)
+			}
+			for i := range got.Data {
+				if got.Data[i] != ref.Data[i] {
+					t.Fatalf("workers=%d cache=%v: point %d differs: %g vs %g",
+						workers, withCache, i, got.Data[i], ref.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructCacheSharedAcrossRuns checks a shared cache eliminates
+// re-execution when the same points are sampled again.
+func TestReconstructCacheSharedAcrossRuns(t *testing.T) {
+	g, ev := analyticEvaluator(t)
+	cache := exec.NewCache(0)
+	counted := backend.NewCounting(ev)
+	opt := Options{SamplingFraction: 0.1, Seed: 7, Cache: cache}
+	if _, _, err := ReconstructBatch(context.Background(), g, exec.FromEvaluator(counted), opt); err != nil {
+		t.Fatal(err)
+	}
+	first := counted.Count()
+	if first == 0 {
+		t.Fatal("no executions on first run")
+	}
+	if _, _, err := ReconstructBatch(context.Background(), g, exec.FromEvaluator(counted), opt); err != nil {
+		t.Fatal(err)
+	}
+	if counted.Count() != first {
+		t.Fatalf("second run re-executed: %d -> %d", first, counted.Count())
+	}
+	if cache.Hits() == 0 {
+		t.Fatal("cache recorded no hits")
+	}
+}
+
+func TestReconstructContextCancellation(t *testing.T) {
+	g, _ := analyticEvaluator(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, _, err := ReconstructContext(ctx, g, func(p []float64) (float64, error) {
+		n++
+		if n == 5 {
+			cancel()
+		}
+		return 0, nil
+	}, Options{SamplingFraction: 0.5, Seed: 1, Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -15,11 +15,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/cs"
+	"repro/internal/exec"
 	"repro/internal/landscape"
 )
 
@@ -38,6 +40,9 @@ type Options struct {
 	// Stratified switches parameter sampling from uniform-random to
 	// jittered stratified sampling (ablation).
 	Stratified bool
+	// Cache optionally memoizes circuit executions across reconstructions
+	// sharing the same deterministic evaluator.
+	Cache *exec.Cache
 }
 
 // Stats reports what a reconstruction cost and how the solver behaved.
@@ -91,6 +96,20 @@ func (o *Options) solverOptions() cs.Options {
 
 // Reconstruct runs the full OSCAR pipeline against a cost evaluator.
 func Reconstruct(g *landscape.Grid, eval landscape.EvalFunc, opt Options) (*landscape.Landscape, *Stats, error) {
+	return ReconstructContext(context.Background(), g, eval, opt)
+}
+
+// ReconstructContext is Reconstruct with cancellation threaded through the
+// circuit-execution phase.
+func ReconstructContext(ctx context.Context, g *landscape.Grid, eval landscape.EvalFunc, opt Options) (*landscape.Landscape, *Stats, error) {
+	return ReconstructBatch(ctx, g, exec.Lift(eval), opt)
+}
+
+// ReconstructBatch runs the OSCAR pipeline with the circuit-execution phase
+// submitted as one batch to the execution engine — the entry point that lets
+// native batch backends, the memoizing cache, and batch-aware QPU fleets
+// carry the embarrassingly-parallel phase 2.
+func ReconstructBatch(ctx context.Context, g *landscape.Grid, be exec.BatchEvaluator, opt Options) (*landscape.Landscape, *Stats, error) {
 	if opt.SamplingFraction <= 0 || opt.SamplingFraction > 1 {
 		return nil, nil, fmt.Errorf("core: sampling fraction %g out of (0,1]", opt.SamplingFraction)
 	}
@@ -112,7 +131,8 @@ func Reconstruct(g *landscape.Grid, eval landscape.EvalFunc, opt Options) (*land
 	if err != nil {
 		return nil, nil, err
 	}
-	values, err := landscape.Sample(g, eval, idx, opt.Workers)
+	en := exec.New(be, exec.Options{Workers: opt.Workers, Cache: opt.Cache})
+	values, err := en.EvaluateBatch(ctx, g.Points(idx))
 	if err != nil {
 		return nil, nil, err
 	}

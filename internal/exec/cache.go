@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultQuantum is the default parameter quantization step for cache keys.
+// Grid axes and optimizer stencils place points far coarser than 1e-9, so
+// the default collapses floating-point jitter without ever merging distinct
+// landscape points.
+const DefaultQuantum = 1e-9
+
+// maxEntries bounds the cache: once full, new points still execute and
+// existing entries still hit, but nothing new is stored. This keeps
+// long-lived engines (optimizers wandering through fresh points, servers
+// reusing one cache across many requests) from growing without bound; at
+// ~1M entries a 2-parameter cache holds ~32MB.
+const maxEntries = 1 << 20
+
+// Cache memoizes evaluation results keyed on quantized parameter vectors, so
+// repeated visits to the same point — optimizer stencils re-probing a
+// neighborhood, ZNE sweeps sharing scale-1 measurements, overlapping
+// landscape samples — never re-execute a circuit. It is safe for concurrent
+// use and only meaningful for evaluators that are pure functions of their
+// parameters. Storage is capped at maxEntries (hits keep working; new
+// points simply stop being stored); call Reset to reclaim a full cache.
+type Cache struct {
+	quantum float64
+
+	mu sync.RWMutex
+	m  map[string]float64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache builds a cache with the given quantization step (<= 0 selects
+// DefaultQuantum). Two parameter vectors share an entry iff every coordinate
+// rounds to the same multiple of the step.
+func NewCache(quantum float64) *Cache {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &Cache{quantum: quantum, m: make(map[string]float64)}
+}
+
+// key encodes the quantized coordinates of params.
+func (c *Cache) key(params []float64) string {
+	buf := make([]byte, 8*len(params))
+	for i, p := range params {
+		q := int64(math.Round(p / c.quantum))
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(q))
+	}
+	return string(buf)
+}
+
+// peek returns the cached value for a key without touching the counters.
+func (c *Cache) peek(k string) (float64, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+// lookup returns the cached value for a key, counting the hit or miss.
+func (c *Cache) lookup(k string) (float64, bool) {
+	v, ok := c.peek(k)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// store records a value for a key, unless the cache is full.
+func (c *Cache) store(k string, v float64) {
+	c.mu.Lock()
+	if len(c.m) < maxEntries {
+		c.m[k] = v
+	}
+	c.mu.Unlock()
+}
+
+// Lookup returns the cached value at params, if present. Hit/miss accounting
+// matches the engine's.
+func (c *Cache) Lookup(params []float64) (float64, bool) {
+	return c.lookup(c.key(params))
+}
+
+// Store records a value at params.
+func (c *Cache) Store(params []float64, v float64) {
+	c.store(c.key(params), v)
+}
+
+// Hits returns the number of lookups served without an execution — stored
+// entries plus intra-batch duplicates of a pending point.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of lookups that fell through to execution.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of stored points.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Reset drops all entries and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.m = make(map[string]float64)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

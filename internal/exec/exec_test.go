@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/backend"
+)
+
+// batch builds n 2-parameter points with distinct coordinates.
+func batch(n int) [][]float64 {
+	ps := make([][]float64, n)
+	for i := range ps {
+		ps[i] = []float64{float64(i) * 0.01, -float64(i) * 0.02}
+	}
+	return ps
+}
+
+func costOf(p []float64) float64 { return math.Sin(p[0]) + 2*math.Cos(p[1]) }
+
+func pointEval(p []float64) (float64, error) { return costOf(p), nil }
+
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	params := batch(937) // non-multiple of any chunk size
+	var want []float64
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for _, chunkSize := range []int{0, 1, 7, 1024} {
+			en := New(Lift(pointEval), Options{Workers: workers, ChunkSize: chunkSize})
+			got, err := en.EvaluateBatch(context.Background(), params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(params) {
+				t.Fatalf("workers=%d: %d results for %d points", workers, len(got), len(params))
+			}
+			if want == nil {
+				want = got
+				for i, p := range params {
+					if got[i] != costOf(p) {
+						t.Fatalf("result %d = %g, want %g", i, got[i], costOf(p))
+					}
+				}
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d chunk=%d: result %d differs: %g vs %g",
+						workers, chunkSize, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineSequentialWithOneWorker checks the Workers=1 ordering contract
+// that evaluators with a shared random stream rely on.
+func TestEngineSequentialWithOneWorker(t *testing.T) {
+	params := batch(100)
+	var order []int
+	en := New(Lift(func(p []float64) (float64, error) {
+		order = append(order, int(math.Round(p[0]/0.01)))
+		return 0, nil
+	}), Options{Workers: 1, ChunkSize: 7})
+	if _, err := en.EvaluateBatch(context.Background(), params); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(params) {
+		t.Fatalf("evaluated %d of %d points", len(order), len(params))
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("evaluation order[%d] = %d, want ascending", i, idx)
+		}
+	}
+}
+
+func TestEngineCacheAccounting(t *testing.T) {
+	var execs atomic.Int64
+	cache := NewCache(0)
+	en := New(Lift(func(p []float64) (float64, error) {
+		execs.Add(1)
+		return costOf(p), nil
+	}), Options{Workers: 4, Cache: cache})
+
+	params := batch(200)
+	// First pass: all misses.
+	first, err := en.EvaluateBatch(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 200 {
+		t.Fatalf("first pass executed %d points, want 200", got)
+	}
+	if cache.Hits() != 0 || cache.Misses() != 200 {
+		t.Fatalf("first pass hits=%d misses=%d, want 0/200", cache.Hits(), cache.Misses())
+	}
+	// Second pass: all hits, zero executions, identical values.
+	second, err := en.EvaluateBatch(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 200 {
+		t.Fatalf("second pass re-executed: %d total execs", got)
+	}
+	if cache.Hits() != 200 {
+		t.Fatalf("second pass hits=%d, want 200", cache.Hits())
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cached value %d differs: %g vs %g", i, first[i], second[i])
+		}
+	}
+	if cache.Len() != 200 {
+		t.Fatalf("cache holds %d entries, want 200", cache.Len())
+	}
+}
+
+// TestEngineCacheDedupWithinBatch submits the same point many times in one
+// batch and checks it executes once.
+func TestEngineCacheDedupWithinBatch(t *testing.T) {
+	var execs atomic.Int64
+	cache := NewCache(0)
+	en := New(Lift(func(p []float64) (float64, error) {
+		execs.Add(1)
+		return costOf(p), nil
+	}), Options{Workers: 4, Cache: cache})
+
+	params := make([][]float64, 64)
+	for i := range params {
+		params[i] = []float64{0.25, -0.5} // same point, fresh slice each time
+	}
+	vals, err := en.EvaluateBatch(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("duplicate point executed %d times", got)
+	}
+	// One execution: 1 miss, the 63 duplicates are hits.
+	if cache.Misses() != 1 || cache.Hits() != 63 {
+		t.Fatalf("dedup accounting hits=%d misses=%d, want 63/1", cache.Hits(), cache.Misses())
+	}
+	want := costOf(params[0])
+	for i, v := range vals {
+		if v != want {
+			t.Fatalf("result %d = %g, want %g", i, v, want)
+		}
+	}
+}
+
+// TestEngineCacheQuantization checks that sub-quantum jitter shares an entry
+// while supra-quantum separation does not.
+func TestEngineCacheQuantization(t *testing.T) {
+	cache := NewCache(1e-6)
+	cache.Store([]float64{0.5}, 42)
+	if v, ok := cache.Lookup([]float64{0.5 + 1e-9}); !ok || v != 42 {
+		t.Fatalf("sub-quantum jitter missed the cache (ok=%v v=%g)", ok, v)
+	}
+	if _, ok := cache.Lookup([]float64{0.5 + 1e-4}); ok {
+		t.Fatal("distinct point hit the cache")
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	en := New(Lift(func(p []float64) (float64, error) {
+		if seen.Add(1) == 10 {
+			cancel() // cancel mid-batch from inside an evaluation
+		}
+		return 0, nil
+	}), Options{Workers: 2, ChunkSize: 4})
+	_, err := en.EvaluateBatch(ctx, batch(10_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := seen.Load(); n >= 10_000 {
+		t.Fatalf("cancellation did not stop the batch (%d points ran)", n)
+	}
+}
+
+func TestEnginePreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	en := New(Lift(pointEval), Options{})
+	if _, err := en.EvaluateBatch(ctx, batch(5)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var seen atomic.Int64
+	en := New(Lift(func(p []float64) (float64, error) {
+		if seen.Add(1) == 5 {
+			return 0, boom
+		}
+		return 0, nil
+	}), Options{Workers: 3, ChunkSize: 2})
+	if _, err := en.EvaluateBatch(context.Background(), batch(1000)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestEngineEmptyBatch(t *testing.T) {
+	en := New(Lift(pointEval), Options{})
+	vals, err := en.EvaluateBatch(context.Background(), nil)
+	if err != nil || len(vals) != 0 {
+		t.Fatalf("empty batch: vals=%v err=%v", vals, err)
+	}
+}
+
+// TestFromEvaluator checks native batch implementations are picked up while
+// plain evaluators are lifted.
+func TestFromEvaluator(t *testing.T) {
+	plain := &backend.Func{Label: "plain", Params: 1, F: func(p []float64) (float64, error) { return p[0], nil }}
+	be := FromEvaluator(plain)
+	vals, err := be.EvaluateBatch(context.Background(), [][]float64{{1}, {2}})
+	if err != nil || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("lifted evaluator: vals=%v err=%v", vals, err)
+	}
+	if _, native := backend.Evaluator(plain).(BatchEvaluator); !native {
+		// backend.Func implements EvaluateBatch natively; if that changes
+		// this test documents that FromEvaluator still works via Lift.
+		t.Log("backend.Func has no native batch path; using Lift")
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	cases := []struct {
+		n, w, conf, want int
+	}{
+		{n: 10, w: 4, conf: 3, want: 3},
+		{n: 10, w: 4, conf: 0, want: 1},
+		{n: 5000, w: 8, conf: 0, want: 78},
+		{n: 1 << 20, w: 1, conf: 0, want: 512},
+	}
+	for _, c := range cases {
+		if got := chunkSize(c.n, c.w, c.conf); got != c.want {
+			t.Errorf("chunkSize(%d,%d,%d) = %d, want %d", c.n, c.w, c.conf, got, c.want)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sync"
@@ -23,6 +26,7 @@ type scalableAnalytic struct {
 	base   noise.Profile
 	shots  int
 	spread float64
+	seed   int64
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -35,6 +39,7 @@ func newScalableAnalytic(p *problem.Problem, base noise.Profile, shots int, seed
 		base:   base,
 		shots:  shots,
 		spread: backend.ShotSpread(p.Hamiltonian),
+		seed:   seed,
 		rng:    rand.New(rand.NewSource(seed)),
 		cache:  make(map[float64]*backend.AnalyticQAOA),
 	}
@@ -43,18 +48,28 @@ func newScalableAnalytic(p *problem.Problem, base noise.Profile, shots int, seed
 // NumParams implements mitigation.ScalableEvaluator.
 func (s *scalableAnalytic) NumParams() int { return 2 }
 
-// EvaluateScaled implements mitigation.ScalableEvaluator.
-func (s *scalableAnalytic) EvaluateScaled(params []float64, c float64) (float64, error) {
-	s.mu.Lock()
+// scaled returns the cached analytic evaluator for noise scale c. Callers
+// must hold s.mu.
+func (s *scalableAnalytic) scaled(c float64) (*backend.AnalyticQAOA, error) {
 	ev, ok := s.cache[c]
 	if !ok {
 		var err error
 		ev, err = backend.NewAnalyticQAOA(s.prob, s.base.Scaled(c))
 		if err != nil {
-			s.mu.Unlock()
-			return 0, err
+			return nil, err
 		}
 		s.cache[c] = ev
+	}
+	return ev, nil
+}
+
+// EvaluateScaled implements mitigation.ScalableEvaluator.
+func (s *scalableAnalytic) EvaluateScaled(params []float64, c float64) (float64, error) {
+	s.mu.Lock()
+	ev, err := s.scaled(c)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
 	}
 	var g float64
 	if s.shots > 0 {
@@ -69,6 +84,73 @@ func (s *scalableAnalytic) EvaluateScaled(params []float64, c float64) (float64,
 		v += g * s.spread / math.Sqrt(float64(s.shots))
 	}
 	return v, nil
+}
+
+// EvaluateScaledBatch implements mitigation.ScalableBatchEvaluator. Unlike
+// the serial path's shared stream, batch shot noise is drawn from per-pair
+// streams derived from (seed, params, scale), so results are deterministic
+// however the engine chunks the sweep across workers; only the evaluator
+// cache takes the lock.
+func (s *scalableAnalytic) EvaluateScaledBatch(ctx context.Context, params [][]float64, scales []float64) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	k := len(scales)
+	out := make([]float64, len(params)*k)
+	evs := make([]*backend.AnalyticQAOA, k)
+	s.mu.Lock()
+	for j, c := range scales {
+		ev, err := s.scaled(c)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		evs[j] = ev
+	}
+	s.mu.Unlock()
+	scale := 0.0
+	if s.shots > 0 {
+		scale = s.spread / math.Sqrt(float64(s.shots))
+	}
+	for i, p := range params {
+		for j := range scales {
+			v, err := evs[j].Evaluate(p)
+			if err != nil {
+				return nil, err
+			}
+			if scale != 0 {
+				v += noiseStream(s.seed, p, scales[j]) * scale
+			}
+			out[i*k+j] = v
+		}
+	}
+	return out, nil
+}
+
+// noiseStream draws one standard normal from the stream identified by
+// (seed, params, scale): a pure function, so batched sweeps are
+// reproducible regardless of chunking (cf. backend.WithShots).
+func noiseStream(seed int64, params []float64, scale float64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range params {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(scale))
+	h.Write(buf[:])
+	x := splitmix64(uint64(seed) ^ splitmix64(h.Sum64()))
+	u1 := float64(splitmix64(x)>>11+1) / (1 << 53)
+	u2 := float64(splitmix64(x+0x9e3779b97f4a7c15)>>11) / (1 << 53)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// splitmix64 is the SplitMix64 finalizer (shared idiom with backend).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // zneConfigs returns the three Figure 9/10 configurations over a base

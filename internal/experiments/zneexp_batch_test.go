@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/landscape"
+	"repro/internal/mitigation"
+	"repro/internal/noise"
+	"repro/internal/problem"
+)
+
+// TestScalableAnalyticBatchDeterministic checks the batched ZNE sweep over
+// the shot-noisy analytic evaluator is reproducible across worker counts
+// and runs: batch shot noise comes from per-(point,scale) streams, not the
+// shared serial RNG, so engine chunking order cannot leak into results.
+func TestScalableAnalyticBatchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p, err := problem.Random3RegularMaxCut(12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := landscape.NewGrid(
+		landscape.Axis{Name: "beta", Min: -0.7, Max: 0.7, N: 12},
+		landscape.Axis{Name: "gamma", Min: -1.5, Max: 1.5, N: 24},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *landscape.Landscape
+	for _, workers := range []int{1, 4} {
+		for run := 0; run < 2; run++ {
+			sc := newScalableAnalytic(p, noise.Fig9(), 1024, 71)
+			z, err := mitigation.NewZNE(sc, []float64{1, 2, 3}, mitigation.Richardson)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := landscape.GenerateBatch(context.Background(), grid, z, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = l
+				continue
+			}
+			for i := range l.Data {
+				if l.Data[i] != ref.Data[i] {
+					t.Fatalf("workers=%d run=%d: point %d differs: %g vs %g",
+						workers, run, i, l.Data[i], ref.Data[i])
+				}
+			}
+		}
+	}
+	// Shot noise must actually be present: compare against the noiseless
+	// evaluator at scale 1.
+	sc := newScalableAnalytic(p, noise.Fig9(), 0, 71)
+	z, err := mitigation.NewZNE(sc, []float64{1, 2, 3}, mitigation.Richardson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := landscape.GenerateBatch(context.Background(), grid, z, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range clean.Data {
+		if clean.Data[i] == ref.Data[i] {
+			same++
+		}
+	}
+	if same == len(clean.Data) {
+		t.Fatal("batched sweep carried no shot noise")
+	}
+	_ = exec.BatchEvaluator(z) // ZNE is engine-composable
+}

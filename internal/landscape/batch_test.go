@@ -1,0 +1,109 @@
+package landscape
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(
+		Axis{Name: "x", Min: -1, Max: 1, N: 23},
+		Axis{Name: "y", Min: 0, Max: 2, N: 31},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func wavyEval(p []float64) (float64, error) { return math.Sin(3*p[0]) * math.Cos(2*p[1]), nil }
+
+// TestGenerateDeterministicAcrossWorkers is the tier-1 determinism contract:
+// the same landscape bit-for-bit at any worker count, legacy or batch entry.
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	g := testGrid(t)
+	ref, err := Generate(g, wavyEval, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		l, err := Generate(g, wavyEval, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range l.Data {
+			if l.Data[i] != ref.Data[i] {
+				t.Fatalf("workers=%d: point %d differs", workers, i)
+			}
+		}
+		lb, err := GenerateBatch(context.Background(), g, exec.Lift(wavyEval), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range lb.Data {
+			if lb.Data[i] != ref.Data[i] {
+				t.Fatalf("batch workers=%d: point %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestSampleBatchMatchesSample(t *testing.T) {
+	g := testGrid(t)
+	idx := []int{0, 5, 700, 31, 712, 5} // includes a duplicate and both ends
+	a, err := Sample(g, wavyEval, idx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleBatch(context.Background(), g, exec.Lift(wavyEval), idx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateContextCancellation(t *testing.T) {
+	g := testGrid(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, err := GenerateContext(ctx, g, func(p []float64) (float64, error) {
+		n++
+		if n == 3 {
+			cancel()
+		}
+		return 0, nil
+	}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGridPointsHelpers(t *testing.T) {
+	g := testGrid(t)
+	all := g.AllPoints()
+	if len(all) != g.Size() {
+		t.Fatalf("AllPoints %d want %d", len(all), g.Size())
+	}
+	for _, i := range []int{0, 17, g.Size() - 1} {
+		want := g.Point(i)
+		for d := range want {
+			if all[i][d] != want[d] {
+				t.Fatalf("AllPoints[%d] mismatch", i)
+			}
+		}
+	}
+	some := g.Points([]int{3, 3, 9})
+	if len(some) != 3 || some[0][0] != some[1][0] || some[0][1] != some[1][1] {
+		t.Fatalf("Points duplicate handling wrong: %v", some)
+	}
+}

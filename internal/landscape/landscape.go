@@ -6,12 +6,13 @@
 package landscape
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
+
+	"repro/internal/exec"
 )
 
 // Axis is one landscape dimension: N equidistant samples over [Min, Max]
@@ -199,90 +200,65 @@ func (l *Landscape) Reshape4DTo2D() (*Landscape, error) {
 // safe for concurrent use (landscape generation fans out across workers).
 type EvalFunc func(params []float64) (float64, error)
 
+// Points materializes the parameter vectors of the given flat indices — the
+// batch a grid scan submits to the execution engine.
+func (g *Grid) Points(idx []int) [][]float64 {
+	pts := make([][]float64, len(idx))
+	for j, i := range idx {
+		pts[j] = g.Point(i)
+	}
+	return pts
+}
+
+// AllPoints materializes every grid point in flat-index order.
+func (g *Grid) AllPoints() [][]float64 {
+	pts := make([][]float64, g.Size())
+	for i := range pts {
+		pts[i] = g.Point(i)
+	}
+	return pts
+}
+
 // Generate scans the full grid — the expensive dense "ground truth"
 // computation OSCAR avoids — running eval on workers goroutines (0 means
-// GOMAXPROCS).
+// GOMAXPROCS). It is a thin wrapper over the batched execution engine.
 func Generate(g *Grid, eval EvalFunc, workers int) (*Landscape, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return GenerateContext(context.Background(), g, eval, workers)
+}
+
+// GenerateContext is Generate with cancellation.
+func GenerateContext(ctx context.Context, g *Grid, eval EvalFunc, workers int) (*Landscape, error) {
+	return GenerateBatch(ctx, g, exec.Lift(eval), workers)
+}
+
+// GenerateBatch scans the full grid through a batch evaluator, submitting
+// every point as one batch so native batch backends and the engine's
+// chunking worker pool do the fan-out.
+func GenerateBatch(ctx context.Context, g *Grid, be exec.BatchEvaluator, workers int) (*Landscape, error) {
+	en := exec.New(be, exec.Options{Workers: workers})
+	data, err := en.EvaluateBatch(ctx, g.AllPoints())
+	if err != nil {
+		return nil, err
 	}
-	l := New(g)
-	total := g.Size()
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				v, err := eval(g.Point(idx))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				l.Data[idx] = v
-			}
-		}()
-	}
-	for i := 0; i < total; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return l, nil
+	return &Landscape{Grid: g, Data: data}, nil
 }
 
 // Sample evaluates the grid at the given flat indices only — OSCAR's
 // circuit-execution phase — in parallel.
 func Sample(g *Grid, eval EvalFunc, idx []int, workers int) ([]float64, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	out := make([]float64, len(idx))
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range next {
-				v, err := eval(g.Point(idx[j]))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				out[j] = v
-			}
-		}()
-	}
-	for j := range idx {
-		next <- j
-	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return SampleContext(context.Background(), g, eval, idx, workers)
+}
+
+// SampleContext is Sample with cancellation.
+func SampleContext(ctx context.Context, g *Grid, eval EvalFunc, idx []int, workers int) ([]float64, error) {
+	return SampleBatch(ctx, g, exec.Lift(eval), idx, workers)
+}
+
+// SampleBatch evaluates the grid at the given flat indices through a batch
+// evaluator, as one engine batch.
+func SampleBatch(ctx context.Context, g *Grid, be exec.BatchEvaluator, idx []int, workers int) ([]float64, error) {
+	en := exec.New(be, exec.Options{Workers: workers})
+	return en.EvaluateBatch(ctx, g.Points(idx))
 }
 
 // quartiles returns (Q1, Q3) with linear interpolation.

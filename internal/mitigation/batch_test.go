@@ -1,0 +1,115 @@
+package mitigation
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// polyScalable is a deterministic ScalableEvaluator: cost = base(params) +
+// slope*scale, so the zero-noise limit is base(params) exactly.
+type polyScalable struct{}
+
+func (polyScalable) NumParams() int { return 2 }
+
+func (polyScalable) EvaluateScaled(params []float64, c float64) (float64, error) {
+	return params[0] + 2*params[1] + 0.25*c, nil
+}
+
+// batchScalable adds a native sweep implementation and records batch sizes.
+type batchScalable struct {
+	polyScalable
+	batches [][2]int // (points, scales) per call
+}
+
+func (b *batchScalable) EvaluateScaledBatch(ctx context.Context, params [][]float64, scales []float64) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.batches = append(b.batches, [2]int{len(params), len(scales)})
+	out := make([]float64, 0, len(params)*len(scales))
+	for _, p := range params {
+		for _, c := range scales {
+			v, err := b.EvaluateScaled(p, c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func znePoints() [][]float64 {
+	pts := make([][]float64, 15)
+	for i := range pts {
+		pts[i] = []float64{0.1 * float64(i), -0.05 * float64(i)}
+	}
+	return pts
+}
+
+// TestZNEBatchMatchesPointwise checks EvaluateBatch extrapolates to the same
+// values as point-at-a-time Evaluate, via both the fallback loop and a
+// native scaled-batch inner evaluator.
+func TestZNEBatchMatchesPointwise(t *testing.T) {
+	pts := znePoints()
+	for name, inner := range map[string]ScalableEvaluator{
+		"fallback": polyScalable{},
+		"native":   &batchScalable{},
+	} {
+		z, err := NewZNE(inner, []float64{1, 2, 3}, Richardson)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := z.EvaluateBatch(context.Background(), pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			want, err := z.Evaluate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got[i]-want) > 1e-12 {
+				t.Fatalf("%s: point %d: batch %g pointwise %g", name, i, got[i], want)
+			}
+			// Richardson on a linear-in-scale cost is exact.
+			if zero := p[0] + 2*p[1]; math.Abs(got[i]-zero) > 1e-12 {
+				t.Fatalf("%s: point %d: extrapolated %g want %g", name, i, got[i], zero)
+			}
+		}
+	}
+}
+
+// TestZNEBatchSingleSweep checks the whole (point x scale) sweep arrives at
+// a native inner evaluator as one submission.
+func TestZNEBatchSingleSweep(t *testing.T) {
+	inner := &batchScalable{}
+	z, err := NewZNE(inner, []float64{1, 3}, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := znePoints()
+	if _, err := z.EvaluateBatch(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.batches) != 1 {
+		t.Fatalf("%d sweep submissions, want 1", len(inner.batches))
+	}
+	if inner.batches[0] != [2]int{len(pts), 2} {
+		t.Fatalf("sweep shape %v, want [%d 2]", inner.batches[0], len(pts))
+	}
+}
+
+func TestZNEBatchCancellation(t *testing.T) {
+	z, err := NewZNE(polyScalable{}, []float64{1, 3}, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := z.EvaluateBatch(ctx, znePoints()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -7,6 +7,7 @@
 package mitigation
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -100,6 +101,14 @@ func (z *ZNE) NumParams() int { return z.inner.NumParams() }
 // expectation costs (the paper's 10x-100x overhead discussion).
 func (z *ZNE) CircuitMultiplier() int { return len(z.scales) }
 
+// ScalableBatchEvaluator is a ScalableEvaluator that can execute a whole
+// (point x scale) sweep in one submission. The returned slice is point-major:
+// value[i*len(scales)+j] is point i at scale j.
+type ScalableBatchEvaluator interface {
+	ScalableEvaluator
+	EvaluateScaledBatch(ctx context.Context, params [][]float64, scales []float64) ([]float64, error)
+}
+
 // Evaluate implements backend.Evaluator: measure at every scale, then
 // extrapolate to zero.
 func (z *ZNE) Evaluate(params []float64) (float64, error) {
@@ -112,6 +121,48 @@ func (z *ZNE) Evaluate(params []float64) (float64, error) {
 		ys[i] = v
 	}
 	return Extrapolate(z.scales, ys, z.model)
+}
+
+// EvaluateBatch implements exec.BatchEvaluator: the full fold-factor sweep —
+// every point at every noise scale — is submitted as one batch when the
+// inner evaluator supports it, so a landscape of mitigated expectations
+// costs one queue round-trip instead of len(params)*len(scales).
+func (z *ZNE) EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error) {
+	k := len(z.scales)
+	var ys []float64
+	if sb, ok := z.inner.(ScalableBatchEvaluator); ok {
+		vs, err := sb.EvaluateScaledBatch(ctx, params, z.scales)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) != len(params)*k {
+			return nil, fmt.Errorf("mitigation: scaled batch returned %d values, want %d", len(vs), len(params)*k)
+		}
+		ys = vs
+	} else {
+		ys = make([]float64, len(params)*k)
+		for i, p := range params {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			for j, s := range z.scales {
+				v, err := z.inner.EvaluateScaled(p, s)
+				if err != nil {
+					return nil, err
+				}
+				ys[i*k+j] = v
+			}
+		}
+	}
+	out := make([]float64, len(params))
+	for i := range params {
+		v, err := Extrapolate(z.scales, ys[i*k:(i+1)*k], z.model)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // Extrapolate combines measurements ys at noise scales xs into a zero-noise

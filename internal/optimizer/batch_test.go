@@ -1,0 +1,96 @@
+package optimizer
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func bowl(x []float64) (float64, error) {
+	return (x[0]-0.3)*(x[0]-0.3) + 2*(x[1]+0.1)*(x[1]+0.1), nil
+}
+
+// TestADAMBatchMatchesADAM checks the batched stencil reproduces the serial
+// optimizer exactly on a deterministic objective: same iterates, same best
+// point, same query count.
+func TestADAMBatchMatchesADAM(t *testing.T) {
+	x0 := []float64{1, -1}
+	opt := ADAMOptions{MaxIter: 200}
+	serial, err := ADAM(bowl, x0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := ADAMBatch(SerialBatch(bowl), x0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Queries != batched.Queries {
+		t.Fatalf("queries differ: %d vs %d", serial.Queries, batched.Queries)
+	}
+	if serial.Iterations != batched.Iterations || serial.Converged != batched.Converged {
+		t.Fatalf("trajectories differ: %d/%v vs %d/%v",
+			serial.Iterations, serial.Converged, batched.Iterations, batched.Converged)
+	}
+	if serial.F != batched.F {
+		t.Fatalf("best cost differs: %g vs %g", serial.F, batched.F)
+	}
+	for i := range serial.X {
+		if serial.X[i] != batched.X[i] {
+			t.Fatalf("best point differs at %d: %g vs %g", i, serial.X[i], batched.X[i])
+		}
+	}
+	if len(serial.Path) != len(batched.Path) {
+		t.Fatalf("path lengths differ: %d vs %d", len(serial.Path), len(batched.Path))
+	}
+	if math.Abs(serial.X[0]-0.3) > 1e-2 || math.Abs(serial.X[1]+0.1) > 1e-2 {
+		t.Fatalf("did not converge near (0.3,-0.1): %v", serial.X)
+	}
+}
+
+// TestADAMBatchSubmitsWholeStencil checks each step's 2n probes arrive as
+// one submission — the property a batch-aware QPU backend amortizes.
+func TestADAMBatchSubmitsWholeStencil(t *testing.T) {
+	var batches, points atomic.Int64
+	f := func(xs [][]float64) ([]float64, error) {
+		batches.Add(1)
+		points.Add(int64(len(xs)))
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			v, _ := bowl(x)
+			out[i] = v
+		}
+		return out, nil
+	}
+	res, err := ADAMBatch(f, []float64{1, -1}, ADAMOptions{MaxIter: 10, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per step: one 4-point stencil batch + one iterate evaluation, plus
+	// the initial point: batches = 1 + 2*iters, points = 1 + 5*iters.
+	iters := int64(res.Iterations)
+	if got := batches.Load(); got != 1+2*iters {
+		t.Fatalf("%d submissions for %d iterations, want %d", got, iters, 1+2*iters)
+	}
+	if got := points.Load(); got != 1+5*iters {
+		t.Fatalf("%d points for %d iterations, want %d", got, iters, 1+5*iters)
+	}
+	if int64(res.Queries) != points.Load() {
+		t.Fatalf("query accounting %d != submitted points %d", res.Queries, points.Load())
+	}
+}
+
+func TestADAMBatchErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	f := func(xs [][]float64) ([]float64, error) {
+		calls++
+		if calls > 1 {
+			return nil, boom
+		}
+		return make([]float64, len(xs)), nil
+	}
+	if _, err := ADAMBatch(f, []float64{0, 0}, ADAMOptions{MaxIter: 5}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -16,6 +16,26 @@ import (
 // Objective is a cost function over parameter vectors.
 type Objective func(x []float64) (float64, error)
 
+// BatchObjective evaluates many parameter vectors in one submission — the
+// shape the batched execution engine (and a real QPU queue) rewards. The
+// returned slice has one cost per input vector, in input order.
+type BatchObjective func(xs [][]float64) ([]float64, error)
+
+// SerialBatch lifts a point objective into a BatchObjective that loops.
+func SerialBatch(f Objective) BatchObjective {
+	return func(xs [][]float64) ([]float64, error) {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			v, err := f(x)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+}
+
 // Bounds restricts a parameter to [Lo, Hi].
 type Bounds struct {
 	Lo, Hi float64
@@ -49,6 +69,25 @@ type counter struct {
 func (c *counter) eval(x []float64) (float64, error) {
 	c.n++
 	return c.f(x)
+}
+
+// batchCounter counts queries through a BatchObjective.
+type batchCounter struct {
+	f BatchObjective
+	n int
+}
+
+func (c *batchCounter) eval(x []float64) (float64, error) {
+	vs, err := c.evalBatch([][]float64{x})
+	if err != nil {
+		return 0, err
+	}
+	return vs[0], nil
+}
+
+func (c *batchCounter) evalBatch(xs [][]float64) ([]float64, error) {
+	c.n += len(xs)
+	return c.f(xs)
 }
 
 func clampToBounds(x []float64, bounds []Bounds) {
@@ -127,18 +166,30 @@ func (o *ADAMOptions) fill() {
 // finite-difference gradients (2 queries per dimension per step, matching
 // the high query counts the paper reports for gradient-based optimizers).
 func ADAM(f Objective, x0 []float64, opt ADAMOptions) (*Result, error) {
+	return ADAMBatch(SerialBatch(f), x0, opt)
+}
+
+// ADAMBatch is ADAM with the full central-difference stencil — all 2n
+// probes of a step — submitted as a single batch, so a batch-aware backend
+// (the execution engine, a QPU fleet) runs the stencil in one job. For a
+// deterministic objective the iterates, query count, and result match ADAM
+// exactly.
+func ADAMBatch(f BatchObjective, x0 []float64, opt ADAMOptions) (*Result, error) {
 	if err := validateStart(x0, opt.Bounds); err != nil {
 		return nil, err
 	}
 	opt.fill()
-	c := &counter{f: f}
+	c := &batchCounter{f: f}
 	n := len(x0)
 	x := append([]float64(nil), x0...)
 	clampToBounds(x, opt.Bounds)
 	m := make([]float64, n)
 	v := make([]float64, n)
 	grad := make([]float64, n)
-	probe := make([]float64, n)
+	stencil := make([][]float64, 2*n)
+	for j := range stencil {
+		stencil[j] = make([]float64, n)
+	}
 
 	res := &Result{}
 	fx, err := c.eval(x)
@@ -150,19 +201,20 @@ func ADAM(f Objective, x0 []float64, opt ADAMOptions) (*Result, error) {
 
 	for it := 1; it <= opt.MaxIter; it++ {
 		res.Iterations = it
+		// One batch per step: probes ordered (+0, -0, +1, -1, ...), the
+		// same order the serial loop used. Rows are reused across steps.
 		for i := 0; i < n; i++ {
-			copy(probe, x)
-			probe[i] = x[i] + opt.FDStep
-			fp, err := c.eval(probe)
-			if err != nil {
-				return nil, err
-			}
-			probe[i] = x[i] - opt.FDStep
-			fm, err := c.eval(probe)
-			if err != nil {
-				return nil, err
-			}
-			grad[i] = (fp - fm) / (2 * opt.FDStep)
+			copy(stencil[2*i], x)
+			stencil[2*i][i] = x[i] + opt.FDStep
+			copy(stencil[2*i+1], x)
+			stencil[2*i+1][i] = x[i] - opt.FDStep
+		}
+		fs, err := c.evalBatch(stencil)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			grad[i] = (fs[2*i] - fs[2*i+1]) / (2 * opt.FDStep)
 		}
 		var stepNorm float64
 		for i := 0; i < n; i++ {

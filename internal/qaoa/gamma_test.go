@@ -1,0 +1,40 @@
+package qaoa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestCostAtBitMatchesCost guards the batch fast path: evaluating through
+// precomputed gamma factors must be bit-identical to the direct closed form,
+// with and without damping — the equivalence the batched execution engine's
+// determinism contract rests on.
+func TestCostAtBitMatchesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := graph.Random3Regular(12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damp := make([]float64, en.NumEdges())
+	for i := range damp {
+		damp[i] = 0.9 + 0.1*rng.Float64()
+	}
+	for trial := 0; trial < 2000; trial++ {
+		beta := rng.NormFloat64()
+		gamma := rng.NormFloat64()
+		gf := en.Gamma(gamma)
+		for _, d := range [][]float64{nil, damp} {
+			a := en.Cost(beta, gamma, d)
+			b := en.CostAt(beta, gf, d)
+			if a != b {
+				t.Fatalf("trial %d damp=%v: Cost %v vs CostAt %v (diff %g)", trial, d != nil, a, b, a-b)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package qpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunBatchedValuesAndAmortization checks batch jobs return the same
+// measured values as single-job scheduling while amortizing queue latency
+// into a shorter makespan.
+func TestRunBatchedValuesAndAmortization(t *testing.T) {
+	g := testGrid(t)
+	lat := LatencyModel{QueueMedian: 60, Sigma: 0.4, Exec: 1}
+	ex, err := NewExecutor(5,
+		Device{Name: "a", Eval: evalFunc("a"), Latency: lat},
+		Device{Name: "b", Eval: evalFunc("b"), Latency: lat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := make([]int, g.Size())
+	for i := range indices {
+		indices[i] = i
+	}
+	single, err := ex.Run(g, indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := ex.RunBatched(context.Background(), g, indices, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched.Results) != len(indices) {
+		t.Fatalf("%d results want %d", len(batched.Results), len(indices))
+	}
+	// Same measured values per index (time is simulated, values are real).
+	want := map[int]float64{}
+	for _, r := range single.Results {
+		want[r.Index] = r.Value
+	}
+	for _, r := range batched.Results {
+		if r.Value != want[r.Index] {
+			t.Fatalf("index %d: batched value %g, single-job value %g", r.Index, r.Value, want[r.Index])
+		}
+	}
+	// 100 jobs on 2 devices: 50 queue waits each unbatched, 5 batched.
+	if batched.Makespan >= single.Makespan/2 {
+		t.Fatalf("batching did not amortize queue latency: batched makespan %g vs single %g",
+			batched.Makespan, single.Makespan)
+	}
+	if sp := batched.Speedup(); sp <= 1 {
+		t.Fatalf("batched speedup %g, want > 1", sp)
+	}
+	if batched.PerDevice[0]+batched.PerDevice[1] != len(indices) {
+		t.Fatalf("per-device counts %v do not sum to %d", batched.PerDevice, len(indices))
+	}
+}
+
+func TestRunBatchedDeterministic(t *testing.T) {
+	g := testGrid(t)
+	ex, _ := NewExecutor(9, Device{Name: "a", Eval: evalFunc("a"), Latency: DefaultLatency()})
+	indices := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	r1, err := ex.RunBatched(context.Background(), g, indices, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ex.RunBatched(context.Background(), g, indices, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.SerialTime != r2.SerialTime {
+		t.Fatalf("virtual time not reproducible: %g/%g vs %g/%g",
+			r1.Makespan, r1.SerialTime, r2.Makespan, r2.SerialTime)
+	}
+	for i := range r1.Results {
+		if r1.Results[i] != r2.Results[i] {
+			t.Fatalf("result %d differs across runs", i)
+		}
+	}
+}
+
+func TestRunBatchedFailureReschedules(t *testing.T) {
+	g := testGrid(t)
+	ex, err := NewExecutor(31,
+		Device{Name: "flaky", Eval: evalFunc("f"), Latency: DefaultLatency(), FailureProb: 0.9},
+		Device{Name: "solid", Eval: evalFunc("s"), Latency: DefaultLatency()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := make([]int, 40)
+	for i := range indices {
+		indices[i] = i
+	}
+	rep, err := ex.RunBatched(context.Background(), g, indices, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("no retries recorded at 90% failure probability")
+	}
+	if len(rep.Results) != len(indices) {
+		t.Fatalf("%d results want %d", len(rep.Results), len(indices))
+	}
+}
+
+func TestRunBatchedCancellation(t *testing.T) {
+	g := testGrid(t)
+	ex, _ := NewExecutor(1, Device{Name: "a", Eval: evalFunc("a"), Latency: DefaultLatency()})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ex.RunBatched(ctx, g, []int{0, 1, 2}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunBatchedDefaultBatchSize(t *testing.T) {
+	g := testGrid(t)
+	ex, _ := NewExecutor(2, Device{Name: "a", Eval: evalFunc("a"), Latency: DefaultLatency()})
+	indices := make([]int, 17)
+	for i := range indices {
+		indices[i] = i
+	}
+	rep, err := ex.RunBatched(context.Background(), g, indices, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 17 {
+		t.Fatalf("%d results want 17", len(rep.Results))
+	}
+	if _, err := ex.RunBatched(context.Background(), g, nil, 0); err == nil {
+		t.Fatal("want error for empty job list")
+	}
+}

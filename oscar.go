@@ -20,6 +20,7 @@
 package oscar
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/cs"
+	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/landscape"
 	"repro/internal/mitigation"
@@ -70,10 +72,52 @@ type (
 	Bicubic = interp.Bicubic
 )
 
+// Batched execution engine types. Every evaluation fan-out in the library —
+// landscape scans, reconstruction sampling, optimizer stencils, ZNE sweeps,
+// the QPU fleet — runs on this engine.
+type (
+	// BatchEvaluator computes costs for whole batches of parameter
+	// vectors, with cancellation.
+	BatchEvaluator = exec.BatchEvaluator
+	// Engine is the chunking, cache-backed worker pool.
+	Engine = exec.Engine
+	// EngineOptions configures workers, chunk size, and the cache.
+	EngineOptions = exec.Options
+	// EvalCache memoizes executions by quantized parameter vector.
+	EvalCache = exec.Cache
+)
+
+// NewEngine builds a batched execution engine around any batch evaluator.
+func NewEngine(inner BatchEvaluator, opt EngineOptions) *Engine { return exec.New(inner, opt) }
+
+// NewEvalCache builds a memoizing execution cache (quantum <= 0 selects the
+// default parameter quantization).
+func NewEvalCache(quantum float64) *EvalCache { return exec.NewCache(quantum) }
+
+// Batch lifts an Evaluator into a BatchEvaluator, using its native batch
+// implementation when it has one (all built-in evaluators do).
+func Batch(e Evaluator) BatchEvaluator { return exec.FromEvaluator(e) }
+
+// BatchFunc lifts a point evaluation function into a BatchEvaluator.
+func BatchFunc(eval EvalFunc) BatchEvaluator { return exec.Lift(eval) }
+
 // Reconstruct runs the OSCAR pipeline: random sampling, parallel execution,
 // compressed-sensing reconstruction.
 func Reconstruct(g *Grid, eval EvalFunc, opt Options) (*Landscape, *Stats, error) {
 	return core.Reconstruct(g, eval, opt)
+}
+
+// ReconstructContext is Reconstruct with cancellation threaded through the
+// circuit-execution phase.
+func ReconstructContext(ctx context.Context, g *Grid, eval EvalFunc, opt Options) (*Landscape, *Stats, error) {
+	return core.ReconstructContext(ctx, g, eval, opt)
+}
+
+// ReconstructBatch runs the OSCAR pipeline with circuit execution submitted
+// through the batched engine — the entry point for native batch backends
+// and cache-backed runs.
+func ReconstructBatch(ctx context.Context, g *Grid, be BatchEvaluator, opt Options) (*Landscape, *Stats, error) {
+	return core.ReconstructBatch(ctx, g, be, opt)
 }
 
 // ReconstructFromSamples reconstructs from already-measured values.
@@ -84,6 +128,12 @@ func ReconstructFromSamples(g *Grid, idx []int, values []float64, opt Options) (
 // GenerateDense runs the full grid search OSCAR replaces (ground truth).
 func GenerateDense(g *Grid, eval EvalFunc, workers int) (*Landscape, error) {
 	return landscape.Generate(g, eval, workers)
+}
+
+// GenerateDenseBatch is GenerateDense through the batched engine, with
+// cancellation.
+func GenerateDenseBatch(ctx context.Context, g *Grid, be BatchEvaluator, workers int) (*Landscape, error) {
+	return landscape.GenerateBatch(ctx, g, be, workers)
 }
 
 // NewGrid builds a parameter grid.
@@ -199,6 +249,18 @@ func (errArity) Error() string { return "oscar: interpolated objective needs 2 p
 // RunADAM minimizes an objective with ADAM (finite-difference gradients).
 func RunADAM(f optimizer.Objective, x0 []float64, opt optimizer.ADAMOptions) (*OptimizerResult, error) {
 	return optimizer.ADAM(f, x0, opt)
+}
+
+// RunADAMBatch is RunADAM with each full gradient stencil (2n probes)
+// submitted to the objective as a single batch — one QPU job per step.
+func RunADAMBatch(f optimizer.BatchObjective, x0 []float64, opt optimizer.ADAMOptions) (*OptimizerResult, error) {
+	return optimizer.ADAMBatch(f, x0, opt)
+}
+
+// EngineObjective adapts a batch evaluator into a batch optimizer objective,
+// so gradient stencils run through the engine (and its cache) as one batch.
+func EngineObjective(ctx context.Context, be BatchEvaluator) optimizer.BatchObjective {
+	return func(xs [][]float64) ([]float64, error) { return be.EvaluateBatch(ctx, xs) }
 }
 
 // RunCobyla minimizes an objective with the COBYLA-style trust-region

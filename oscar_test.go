@@ -1,12 +1,127 @@
 package oscar
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/optimizer"
 )
+
+// TestReconstructEquivalentAcrossEntryPoints is the PR's acceptance
+// criterion: for a fixed seed, Reconstruct output is bit-identical across
+// worker counts and across the legacy, context, and batch entry points.
+func TestReconstructEquivalentAcrossEntryPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prob, err := Random3RegularMaxCut(14, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewAnalyticQAOA(prob, DepolarizingNoise("d", 0.002, 0.008))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := QAOAGrid(1, 25, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{SamplingFraction: 0.1, Seed: 99}
+	ref, _, err := Reconstruct(grid, dev.Evaluate, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, l *Landscape) {
+		t.Helper()
+		for i := range l.Data {
+			if l.Data[i] != ref.Data[i] {
+				t.Fatalf("%s: point %d differs: %g vs %g", label, i, l.Data[i], ref.Data[i])
+			}
+		}
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		o := opt
+		o.Workers = workers
+		legacy, _, err := Reconstruct(grid, dev.Evaluate, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("legacy", legacy)
+		withCtx, _, err := ReconstructContext(context.Background(), grid, dev.Evaluate, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("context", withCtx)
+		o.Cache = NewEvalCache(0)
+		batch, _, err := ReconstructBatch(context.Background(), grid, Batch(dev), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("batch", batch)
+	}
+}
+
+// TestEngineObjectiveThroughCache checks an engine-backed ADAM run: stencil
+// batches flow through the engine and revisited points come from the cache.
+func TestEngineObjectiveThroughCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	prob, err := Random3RegularMaxCut(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewAnalyticQAOA(prob, IdealNoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncached engine: bit-identical to the serial optimizer.
+	plain := NewEngine(Batch(dev), EngineOptions{Workers: 2})
+	res0, err := RunADAMBatch(EngineObjective(context.Background(), plain), []float64{0.3, -0.3},
+		optimizer.ADAMOptions{MaxIter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunADAM(dev.Evaluate, []float64{0.3, -0.3}, optimizer.ADAMOptions{MaxIter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.F != serial.F || res0.Queries != serial.Queries {
+		t.Fatalf("engine-backed ADAM diverged: F %g vs %g, queries %d vs %d",
+			res0.F, serial.F, res0.Queries, serial.Queries)
+	}
+	// Cached engine: the quantized cache may merge sub-quantum-distinct
+	// stencil points, so the trajectory agrees to quantization precision
+	// rather than bit-for-bit.
+	cache := NewEvalCache(0)
+	en := NewEngine(Batch(dev), EngineOptions{Workers: 2, Cache: cache})
+	res, err := RunADAMBatch(EngineObjective(context.Background(), en), []float64{0.3, -0.3},
+		optimizer.ADAMOptions{MaxIter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != serial.Queries {
+		t.Fatalf("queries %d vs %d", res.Queries, serial.Queries)
+	}
+	if math.Abs(res.F-serial.F) > 1e-6 {
+		t.Fatalf("cached engine ADAM drifted: F %g vs %g", res.F, serial.F)
+	}
+	// A second identical run revisits every point: all engine lookups hit.
+	misses := cache.Misses()
+	res2, err := RunADAMBatch(EngineObjective(context.Background(), en), []float64{0.3, -0.3},
+		optimizer.ADAMOptions{MaxIter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.F != res.F {
+		t.Fatalf("cached re-run diverged: %g vs %g", res2.F, res.F)
+	}
+	if cache.Misses() != misses {
+		t.Fatalf("cached re-run re-executed points: misses %d -> %d", misses, cache.Misses())
+	}
+	if cache.Hits() < int64(res.Queries) {
+		t.Fatalf("cache hits %d, want >= %d", cache.Hits(), res.Queries)
+	}
+}
 
 // TestPublicWorkflow exercises the documented end-to-end API: problem ->
 // device -> grid -> reconstruct -> interpolate -> optimize.
