@@ -8,6 +8,7 @@ package oscar
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -364,6 +365,110 @@ func BenchmarkGenerateEngine(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := en.EvaluateBatch(context.Background(), pts); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReconstructParallel compares the serial solver against the
+// sharded solver on the paper's 50x100 Table 1 grid. The samples are
+// measured once outside the timed region, so each sub-benchmark times the
+// reconstruction phase alone — the phase this PR shards. workers-0 resolves
+// to GOMAXPROCS; on a multi-core runner it should beat workers-1
+// measurably, and every variant produces bit-identical output.
+func BenchmarkReconstructParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	p, err := problem.Random3RegularMaxCut(16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := backend.NewAnalyticQAOA(p, noise.Fig4())
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := QAOAGrid(1, 50, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := core.SampleGrid(grid, 0.05, 7, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	values, err := exec.New(exec.FromEvaluator(ev), exec.Options{}).
+		EvaluateBatch(context.Background(), grid.Points(idx))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers-%d", workers)
+		if workers == 0 {
+			name = "workers-max"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := core.Options{SamplingFraction: 0.05, Seed: 7}
+			opt.Solver = cs.DefaultOptions()
+			opt.Solver.Workers = workers
+			if workers == 1 {
+				opt.Workers = 1 // serial baseline end to end
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.ReconstructFromSamples(grid, idx, values, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReconstructMany solves a fleet of independent 50x100
+// reconstructions — the concurrent-jobs regime the service layer will serve
+// — once through ReconstructMany's pool and once as a serial loop.
+func BenchmarkReconstructMany(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	p, err := problem.Random3RegularMaxCut(16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := backend.NewAnalyticQAOA(p, noise.Fig4())
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := QAOAGrid(1, 50, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fleet = 8
+	jobs := make([]cs.Job, fleet)
+	for k := range jobs {
+		idx, err := core.SampleGrid(grid, 0.05, int64(100+k), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		values, err := exec.New(exec.FromEvaluator(ev), exec.Options{}).
+			EvaluateBatch(context.Background(), grid.Points(idx))
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := cs.DefaultOptions()
+		opt.Workers = 1
+		jobs[k] = cs.Job{Rows: 50, Cols: 100, Idx: idx, Y: values, Opt: opt}
+	}
+	b.Run("pool", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, jr := range cs.ReconstructMany(context.Background(), jobs...) {
+				if jr.Err != nil {
+					b.Fatal(jr.Err)
+				}
+			}
+		}
+	})
+	b.Run("serial-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, j := range jobs {
+				if _, err := cs.Reconstruct2D(j.Rows, j.Cols, j.Idx, j.Y, j.Opt); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

@@ -32,7 +32,10 @@ type Options struct {
 	SamplingFraction float64
 	// Seed drives parameter sampling. Runs are deterministic given a seed.
 	Seed int64
-	// Workers bounds parallel circuit execution (0 = GOMAXPROCS).
+	// Workers bounds parallel circuit execution and, unless
+	// Solver.Workers is set explicitly, also shards the reconstruction
+	// solver (0 = GOMAXPROCS). Sharding the solver is bit-identical to a
+	// serial solve for every worker count.
 	Workers int
 	// Solver configures the compressed-sensing solver; zero value means
 	// cs.DefaultOptions.
@@ -87,9 +90,12 @@ func shape2D(g *landscape.Grid) (rows, cols int, err error) {
 }
 
 func (o *Options) solverOptions() cs.Options {
-	s := o.Solver
-	if s == (cs.Options{}) {
-		s = cs.DefaultOptions()
+	s := o.Solver.WithDefaults()
+	// The reconstruction phase inherits the execution worker budget unless
+	// the solver was given its own (Solver.Workers = 1 forces a serial
+	// solve under parallel execution).
+	if s.Workers == 0 {
+		s.Workers = o.Workers
 	}
 	return s
 }
@@ -136,13 +142,19 @@ func ReconstructBatch(ctx context.Context, g *landscape.Grid, be exec.BatchEvalu
 	if err != nil {
 		return nil, nil, err
 	}
-	return ReconstructFromSamples(g, idx, values, opt)
+	return ReconstructFromSamplesContext(ctx, g, idx, values, opt)
 }
 
 // ReconstructFromSamples runs only the reconstruction phase on
 // already-measured values — the entry point used by the multi-QPU executor,
 // eager reconstruction, and pre-collected hardware datasets.
 func ReconstructFromSamples(g *landscape.Grid, idx []int, values []float64, opt Options) (*landscape.Landscape, *Stats, error) {
+	return ReconstructFromSamplesContext(context.Background(), g, idx, values, opt)
+}
+
+// ReconstructFromSamplesContext is ReconstructFromSamples with cancellation
+// threaded through the solver: a canceled ctx stops FISTA between iterations.
+func ReconstructFromSamplesContext(ctx context.Context, g *landscape.Grid, idx []int, values []float64, opt Options) (*landscape.Landscape, *Stats, error) {
 	if len(idx) == 0 {
 		return nil, nil, errors.New("core: no samples")
 	}
@@ -150,7 +162,7 @@ func ReconstructFromSamples(g *landscape.Grid, idx []int, values []float64, opt 
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := cs.Reconstruct2D(rows, cols, idx, values, opt.solverOptions())
+	res, err := cs.Reconstruct2DContext(ctx, rows, cols, idx, values, opt.solverOptions())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/backend"
+	"repro/internal/cs"
 	"repro/internal/landscape"
 	"repro/internal/noise"
 	"repro/internal/problem"
@@ -109,6 +112,80 @@ func TestReconstructValidation(t *testing.T) {
 	}
 	if _, _, err := ReconstructFromSamples(grid, nil, nil, Options{}); err == nil {
 		t.Error("want error for no samples")
+	}
+}
+
+// TestReconstructWorkersBitIdentical: the Workers option shards the solver
+// without changing a single bit of the reconstruction.
+func TestReconstructWorkersBitIdentical(t *testing.T) {
+	grid := qaoaGrid(t, 64, 70) // above the solver's 4096-point serial floor
+	eval := qaoaEval(t, 12, 33, noise.Ideal())
+	serial := Options{SamplingFraction: 0.06, Seed: 9, Workers: 1}
+	serial.Solver = cs.DefaultOptions()
+	serial.Solver.MaxIter = 50
+	serial.Solver.Workers = 1
+	want, _, err := Reconstruct(grid, eval, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		opt := serial
+		opt.Workers = workers
+		opt.Solver.Workers = 0 // inherit opt.Workers
+		got, _, err := Reconstruct(grid, eval, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: Data[%d]=%v, serial %v", workers, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestSolverOptionsWorkersOnly: picking just a solver worker count must not
+// defeat the zero-value-means-DefaultOptions sentinel (continuation and
+// debias stay on), and an unset solver inherits the execution workers.
+func TestSolverOptionsWorkersOnly(t *testing.T) {
+	o := Options{SamplingFraction: 0.05, Workers: 4, Solver: cs.Options{Workers: 1}}
+	want := cs.DefaultOptions()
+	want.Workers = 1
+	if got := o.solverOptions(); got != want {
+		t.Fatalf("Workers-only Solver resolved to %+v, want DefaultOptions with Workers=1", got)
+	}
+	inherit := Options{SamplingFraction: 0.05, Workers: 3}
+	got := inherit.solverOptions()
+	if got.Workers != 3 {
+		t.Fatalf("solver Workers = %d, want inherited 3", got.Workers)
+	}
+	if !got.Continuation || !got.Debias {
+		t.Fatal("unset Solver lost the DefaultOptions configuration")
+	}
+}
+
+// TestReconstructFromSamplesContextCanceled: cancellation reaches the solver
+// phase, not just circuit execution.
+func TestReconstructFromSamplesContextCanceled(t *testing.T) {
+	grid := qaoaGrid(t, 20, 20)
+	eval := qaoaEval(t, 12, 34, noise.Ideal())
+	idx, err := SampleGrid(grid, 0.2, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, len(idx))
+	for j, i := range idx {
+		v, err := eval(grid.Point(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		values[j] = v
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = ReconstructFromSamplesContext(ctx, grid, idx, values, Options{SamplingFraction: 0.2, Seed: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

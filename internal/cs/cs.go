@@ -15,6 +15,7 @@
 package cs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/dct"
+	"repro/internal/exec"
 )
 
 // Method selects the sparse-recovery algorithm.
@@ -58,7 +60,8 @@ type Options struct {
 	// LambdaRel * max|A^T y|, the standard relative scaling.
 	Lambda float64
 	// LambdaRel is the relative penalty used when Lambda is zero.
-	// Defaults to 0.01.
+	// Defaults to 0.001, matching DefaultOptions: VQA landscapes are
+	// extremely sparse, so a light penalty keeps shrinkage bias small.
 	LambdaRel float64
 	// MaxIter bounds the iteration count. Defaults to 500.
 	MaxIter int
@@ -75,6 +78,13 @@ type Options struct {
 	// OMPSparsity bounds the support size for OMP. When zero it defaults
 	// to len(y)/4.
 	OMPSparsity int
+	// Workers shards the solver — the 2-D DCT row/column passes and the
+	// per-element FISTA kernels — across a worker pool: any non-positive
+	// value selects GOMAXPROCS, 1 forces the serial solver, and n > 1
+	// uses n workers (dct.NewPlan2DWorkers owns this resolution). Grids
+	// smaller than 4096 points always solve serially. Sharding is
+	// bit-identical to the serial solver for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the options used throughout the paper
@@ -92,9 +102,29 @@ func DefaultOptions() Options {
 	}
 }
 
+// WithDefaults applies the zero-value-means-DefaultOptions sentinel: an
+// Options whose only set field is Workers becomes DefaultOptions carrying
+// that worker count, so picking a pool size never silently drops the paper
+// configuration (continuation, debias). Any other set field disables the
+// promotion. Reconstruct2DContext applies it to every solve, so direct
+// calls, core.Options.Solver, and ReconstructMany jobs all follow this one
+// rule.
+func (o Options) WithDefaults() Options {
+	probe := o
+	probe.Workers = 0
+	if probe == (Options{}) {
+		w := o.Workers
+		o = DefaultOptions()
+		o.Workers = w
+	}
+	return o
+}
+
 func (o *Options) fill() {
 	if o.LambdaRel == 0 {
-		o.LambdaRel = 0.01
+		// Keep in sync with DefaultOptions: a zero-valued Options must
+		// behave like the paper configuration's penalty.
+		o.LambdaRel = 0.001
 	}
 	if o.MaxIter == 0 {
 		o.MaxIter = 500
@@ -122,6 +152,15 @@ type Result struct {
 // row-major grid indices idx. idx entries must be unique and in
 // [0, rows*cols).
 func Reconstruct2D(rows, cols int, idx []int, y []float64, opt Options) (*Result, error) {
+	return Reconstruct2DContext(context.Background(), rows, cols, idx, y, opt)
+}
+
+// Reconstruct2DContext is Reconstruct2D with cancellation: a canceled ctx
+// stops the solver between iterations and returns ctx.Err().
+func Reconstruct2DContext(ctx context.Context, rows, cols int, idx []int, y []float64, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("cs: invalid shape %dx%d", rows, cols)
 	}
@@ -142,33 +181,41 @@ func Reconstruct2D(rows, cols int, idx []int, y []float64, opt Options) (*Result
 		}
 		seen[i] = struct{}{}
 	}
+	opt = opt.WithDefaults()
 	opt.fill()
-	op := newPartialDCT(rows, cols, idx)
+	op := newPartialDCT(rows, cols, idx, opt.Workers)
 	switch opt.Method {
 	case FISTA, ISTA:
-		return solveProx(op, y, opt)
+		return solveProx(ctx, op, y, opt)
 	case OMP:
-		return solveOMP(op, y, opt)
+		return solveOMP(ctx, op, y, opt)
 	default:
 		return nil, fmt.Errorf("cs: unknown method %v", opt.Method)
 	}
 }
 
-// partialDCT is the measurement operator A and its adjoint.
+// partialDCT is the measurement operator A and its adjoint, sharded across
+// workers goroutines (1 = serial).
 type partialDCT struct {
 	rows, cols int
+	workers    int
 	idx        []int
 	plan       *dct.Plan2D
 	grid       []float64 // scratch, length rows*cols
 }
 
-func newPartialDCT(rows, cols int, idx []int) *partialDCT {
+func newPartialDCT(rows, cols int, idx []int, workers int) *partialDCT {
+	plan := dct.NewPlan2DWorkers(rows, cols, workers)
 	return &partialDCT{
 		rows: rows,
 		cols: cols,
-		idx:  idx,
-		plan: dct.NewPlan2D(rows, cols),
-		grid: make([]float64, rows*cols),
+		// The plan owns worker resolution (GOMAXPROCS default, small-grid
+		// serial fallback); adopting its effective count keeps the vector
+		// kernels and the transforms under one rule.
+		workers: plan.Workers(),
+		idx:     idx,
+		plan:    plan,
+		grid:    make([]float64, rows*cols),
 	}
 }
 
@@ -183,7 +230,9 @@ func (op *partialDCT) forward(out, s []float64) {
 	}
 }
 
-// adjoint computes A^T r = DCT2(scatter(r)) into out (length n).
+// adjoint computes A^T r = DCT2(scatter(r)) into out (length n). The zeroing
+// stays serial: it compiles to a memclr that is far cheaper than goroutine
+// fan-out at these grid sizes.
 func (op *partialDCT) adjoint(out, r []float64) {
 	for i := range op.grid {
 		op.grid[i] = 0
@@ -194,19 +243,6 @@ func (op *partialDCT) adjoint(out, r []float64) {
 	op.plan.Forward(out, op.grid)
 }
 
-func softThreshold(dst, src []float64, t float64) {
-	for i, v := range src {
-		switch {
-		case v > t:
-			dst[i] = v - t
-		case v < -t:
-			dst[i] = v + t
-		default:
-			dst[i] = 0
-		}
-	}
-}
-
 func norm2(v []float64) float64 {
 	var s float64
 	for _, x := range v {
@@ -215,8 +251,12 @@ func norm2(v []float64) float64 {
 	return math.Sqrt(s)
 }
 
-// solveProx runs FISTA (or ISTA) on the lasso objective.
-func solveProx(op *partialDCT, y []float64, opt Options) (*Result, error) {
+// solveProx runs FISTA (or ISTA) on the lasso objective. The per-element
+// vector kernels (gradient step, soft threshold, extrapolation) run over
+// contiguous shards on op's worker pool; reductions (penalty scaling and the
+// convergence test) stay serial so that floating-point summation order — and
+// therefore the result — is bit-identical for every worker count.
+func solveProx(ctx context.Context, op *partialDCT, y []float64, opt Options) (*Result, error) {
 	n, m := op.n(), op.m()
 	aty := make([]float64, n)
 	op.adjoint(aty, y)
@@ -253,6 +293,9 @@ func solveProx(op *partialDCT, y []float64, opt Options) (*Result, error) {
 	tk := 1.0
 	iters := 0
 	for it := 0; it < opt.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
 		op.forward(az, z)
 		for j := range resid {
@@ -260,17 +303,33 @@ func solveProx(op *partialDCT, y []float64, opt Options) (*Result, error) {
 		}
 		op.adjoint(grad, resid)
 		copy(prev, s)
-		for i := range s {
-			s[i] = z[i] - grad[i]
-		}
-		softThreshold(s, s, lam)
+		// Fused gradient step + soft-threshold prox over worker shards:
+		// s = shrink(z - grad, lam). One fan-out and one memory sweep per
+		// iteration instead of two; elementwise, so sharding stays
+		// bit-identical to a serial pass.
+		lamIt := lam
+		exec.ForRange(op.workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := z[i] - grad[i]
+				switch {
+				case v > lamIt:
+					s[i] = v - lamIt
+				case v < -lamIt:
+					s[i] = v + lamIt
+				default:
+					s[i] = 0
+				}
+			}
+		})
 
 		if opt.Method == FISTA {
 			tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
 			beta := (tk - 1) / tNext
-			for i := range z {
-				z[i] = s[i] + beta*(s[i]-prev[i])
-			}
+			exec.ForRange(op.workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					z[i] = s[i] + beta*(s[i]-prev[i])
+				}
+			})
 			tk = tNext
 		} else {
 			copy(z, s)
@@ -363,8 +422,10 @@ func debias(op *partialDCT, s, y []float64) {
 }
 
 // solveOMP runs orthogonal matching pursuit: greedily grow the support,
-// refitting by least squares (gradient polish) after each addition.
-func solveOMP(op *partialDCT, y []float64, opt Options) (*Result, error) {
+// refitting by least squares (gradient polish) after each addition. The
+// support size is tracked incrementally — exactly one index joins per greedy
+// step — instead of rescanning the n-length support mask every iteration.
+func solveOMP(ctx context.Context, op *partialDCT, y []float64, opt Options) (*Result, error) {
 	n, m := op.n(), op.m()
 	k := opt.OMPSparsity
 	if k <= 0 {
@@ -375,12 +436,16 @@ func solveOMP(op *partialDCT, y []float64, opt Options) (*Result, error) {
 	}
 	s := make([]float64, n)
 	inSupport := make([]bool, n)
+	supportSize := 0
 	resid := make([]float64, m)
 	copy(resid, y)
 	corr := make([]float64, n)
 	as := make([]float64, m)
 	iters := 0
-	for len(supportOf(inSupport)) < k {
+	for supportSize < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
 		op.adjoint(corr, resid)
 		best, bestAbs := -1, 0.0
@@ -396,6 +461,7 @@ func solveOMP(op *partialDCT, y []float64, opt Options) (*Result, error) {
 			break
 		}
 		inSupport[best] = true
+		supportSize++
 		// Least-squares refit on the support by projected gradient.
 		for polish := 0; polish < 25; polish++ {
 			op.forward(as, s)
@@ -441,16 +507,6 @@ func solveOMP(op *partialDCT, y []float64, opt Options) (*Result, error) {
 		Residual:   norm2(resid),
 		Sparsity:   countNonzero(s),
 	}, nil
-}
-
-func supportOf(in []bool) []int {
-	var out []int
-	for i, b := range in {
-		if b {
-			out = append(out, i)
-		}
-	}
-	return out
 }
 
 // SampleIndices draws m distinct row-major indices uniformly at random from

@@ -1,6 +1,8 @@
 package cs
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -176,7 +178,7 @@ func TestAdjointProperty(t *testing.T) {
 	rows, cols := 9, 13
 	n := rows * cols
 	idx, _ := SampleIndices(rng, n, 40)
-	op := newPartialDCT(rows, cols, idx)
+	op := newPartialDCT(rows, cols, idx, 1)
 	f := func(seed int64) bool {
 		r2 := rand.New(rand.NewSource(seed))
 		s := make([]float64, n)
@@ -212,7 +214,7 @@ func TestOperatorContraction(t *testing.T) {
 	rows, cols := 10, 14
 	n := rows * cols
 	idx, _ := SampleIndices(rng, n, 50)
-	op := newPartialDCT(rows, cols, idx)
+	op := newPartialDCT(rows, cols, idx, 1)
 	for trial := 0; trial < 30; trial++ {
 		s := make([]float64, n)
 		for i := range s {
@@ -285,6 +287,357 @@ func TestStratifiedIndices(t *testing.T) {
 	}
 }
 
+// TestStratifiedIndicesBucketCoverage checks the defining stratification
+// property: with n divisible by m every bucket [b*n/m, (b+1)*n/m) contributes
+// exactly one point, so coverage is uniform across the grid.
+func TestStratifiedIndicesBucketCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n, m := 120, 24 // bucket width 5
+	idx, err := StratifiedIndices(rng, n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != m {
+		t.Fatalf("got %d indices, want %d (equal buckets cannot collide)", len(idx), m)
+	}
+	perBucket := make([]int, m)
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			t.Fatalf("index %d out of range", i)
+		}
+		perBucket[i*m/n]++
+	}
+	for b, c := range perBucket {
+		if c != 1 {
+			t.Fatalf("bucket %d holds %d points, want exactly 1 (got %v)", b, c, idx)
+		}
+	}
+	// Uneven buckets (n not divisible by m) may skip duplicates but never
+	// place two points in one bucket.
+	idx2, err := StratifiedIndices(rng, 103, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, i := range idx2 {
+		b := 0
+		for !(b*103/10 <= i && i < (b+1)*103/10) {
+			b++
+		}
+		if seen[b] {
+			t.Fatalf("bucket %d holds two points: %v", b, idx2)
+		}
+		seen[b] = true
+	}
+}
+
+// TestStratifiedIndicesDeterministic: a fixed seed reproduces the exact
+// sampling pattern, the property reconstruction reproducibility rests on.
+func TestStratifiedIndicesDeterministic(t *testing.T) {
+	a, err := StratifiedIndices(rand.New(rand.NewSource(42)), 500, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StratifiedIndices(rand.New(rand.NewSource(42)), 500, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ under the same seed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d differs under the same seed: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c, err := StratifiedIndices(rand.New(rand.NewSource(43)), 500, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical stratified samples")
+	}
+}
+
+// TestReconstructParallelBitIdentical is the acceptance contract for the
+// sharded solver: every worker count must reproduce the serial solve
+// bit-for-bit (coefficients and landscape), for the proximal methods and OMP,
+// on a grid large enough to defeat the serial fallback.
+func TestReconstructParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rows, cols := 64, 70 // 4480 points: above the 4096 serial-fallback floor
+	x, _ := sparseLandscape(rng, rows, cols, 6)
+	idx, err := SampleIndices(rng, rows*cols, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	for _, m := range []Method{FISTA, ISTA, OMP} {
+		base := DefaultOptions()
+		base.Method = m
+		// Bit-identity does not need convergence; a short run keeps the
+		// race-instrumented CI pass fast while still exercising the
+		// continuation schedule and the sharded prox/extrapolation
+		// kernels. Debias (50 extra operator applications per solve) is
+		// covered once, on the FISTA path.
+		base.MaxIter = 50
+		base.Debias = m == FISTA
+		if m == ISTA {
+			base.MaxIter = 40
+		}
+		if m == OMP {
+			base.OMPSparsity = 8
+		}
+		serialOpt := base
+		serialOpt.Workers = 1
+		want, err := Reconstruct2D(rows, cols, idx, y, serialOpt)
+		if err != nil {
+			t.Fatalf("%v serial: %v", m, err)
+		}
+		for _, workers := range []int{0, 2, 3, 8} {
+			opt := base
+			opt.Workers = workers
+			got, err := Reconstruct2D(rows, cols, idx, y, opt)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", m, workers, err)
+			}
+			if got.Iterations != want.Iterations {
+				t.Fatalf("%v workers=%d: %d iterations, serial %d", m, workers, got.Iterations, want.Iterations)
+			}
+			if got.Residual != want.Residual || got.Sparsity != want.Sparsity {
+				t.Fatalf("%v workers=%d: diagnostics diverged from serial", m, workers)
+			}
+			for i := range want.X {
+				if got.X[i] != want.X[i] {
+					t.Fatalf("%v workers=%d: X[%d]=%v, serial %v", m, workers, i, got.X[i], want.X[i])
+				}
+				if got.Coeffs[i] != want.Coeffs[i] {
+					t.Fatalf("%v workers=%d: Coeffs[%d]=%v, serial %v", m, workers, i, got.Coeffs[i], want.Coeffs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReconstruct1DParallelBitIdentical covers the degenerate 1xN shape,
+// where only the column pass and the vector kernels can shard.
+func TestReconstruct1DParallelBitIdentical(t *testing.T) {
+	n := 8192
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(math.Pi*(2*float64(i)+1)*5/(2*float64(n))) +
+			0.25*math.Cos(math.Pi*(2*float64(i)+1)*11/(2*float64(n)))
+	}
+	rng := rand.New(rand.NewSource(24))
+	idx, err := SampleIndices(rng, n, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	serialOpt := DefaultOptions()
+	serialOpt.Workers = 1
+	serialOpt.MaxIter = 120
+	want, err := Reconstruct1D(n, idx, y, serialOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(want.X, x); e > 0.01 {
+		t.Fatalf("1-D relative error %g", e)
+	}
+	for _, workers := range []int{0, 3, 8} {
+		opt := serialOpt
+		opt.Workers = workers
+		got, err := Reconstruct1D(n, idx, y, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Fatalf("workers=%d: X[%d]=%v, serial %v", workers, i, got.X[i], want.X[i])
+			}
+		}
+	}
+}
+
+func TestReconstructCanceledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	rows, cols := 20, 20
+	x, _ := sparseLandscape(rng, rows, cols, 3)
+	idx, _ := SampleIndices(rng, rows*cols, 100)
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range []Method{FISTA, OMP} {
+		opt := DefaultOptions()
+		opt.Method = m
+		if _, err := Reconstruct2DContext(ctx, rows, cols, idx, y, opt); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", m, err)
+		}
+	}
+}
+
+func TestReconstructManyMatchesIndividual(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	var jobs []Job
+	var want []*Result
+	for k := 0; k < 6; k++ {
+		rows, cols := 20+k, 25+2*k
+		x, _ := sparseLandscape(rng, rows, cols, 4)
+		idx, err := SampleIndices(rng, rows*cols, rows*cols/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float64, len(idx))
+		for j, i := range idx {
+			y[j] = x[i]
+		}
+		jobs = append(jobs, Job{Rows: rows, Cols: cols, Idx: idx, Y: y, Opt: DefaultOptions()})
+		opt := DefaultOptions()
+		opt.Workers = 1 // ReconstructMany solves zero-Workers jobs serially
+		res, err := Reconstruct2D(rows, cols, idx, y, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	got := ReconstructMany(context.Background(), jobs...)
+	if len(got) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(got), len(jobs))
+	}
+	for k, jr := range got {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", k, jr.Err)
+		}
+		for i := range want[k].X {
+			if jr.Result.X[i] != want[k].X[i] {
+				t.Fatalf("job %d: X[%d] differs from individual solve", k, i)
+			}
+		}
+	}
+}
+
+// TestReconstructManyZeroOptUsesDefaults: a job whose Opt is zero (or sets
+// only Workers) solves with DefaultOptions, like every other entry point.
+func TestReconstructManyZeroOptUsesDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rows, cols := 18, 22
+	x, _ := sparseLandscape(rng, rows, cols, 3)
+	idx, _ := SampleIndices(rng, rows*cols, 100)
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	opt := DefaultOptions()
+	opt.Workers = 1
+	want, err := Reconstruct2D(rows, cols, idx, y, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ReconstructMany(context.Background(),
+		Job{Rows: rows, Cols: cols, Idx: idx, Y: y},
+		Job{Rows: rows, Cols: cols, Idx: idx, Y: y, Opt: Options{Workers: 1}},
+		// Negative Workers must also stay serial inside the pool, not
+		// resolve to GOMAXPROCS.
+		Job{Rows: rows, Cols: cols, Idx: idx, Y: y, Opt: Options{Workers: -2}})
+	for k, jr := range out {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", k, jr.Err)
+		}
+		for i := range want.X {
+			if jr.Result.X[i] != want.X[i] {
+				t.Fatalf("job %d: X[%d] differs from a DefaultOptions solve — zero Opt was not promoted", k, i)
+			}
+		}
+	}
+}
+
+// TestReconstructManyErrorIsolation: one malformed job must fail alone.
+func TestReconstructManyErrorIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	rows, cols := 16, 16
+	x, _ := sparseLandscape(rng, rows, cols, 2)
+	idx, _ := SampleIndices(rng, rows*cols, 80)
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	good := Job{Rows: rows, Cols: cols, Idx: idx, Y: y, Opt: DefaultOptions()}
+	bad := Job{Rows: 0, Cols: cols, Idx: idx, Y: y, Opt: DefaultOptions()}
+	out := ReconstructMany(context.Background(), good, bad, good)
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("good jobs failed: %v / %v", out[0].Err, out[2].Err)
+	}
+	if out[1].Err == nil {
+		t.Fatal("malformed job did not report an error")
+	}
+	if out[0].Result == nil || out[2].Result == nil || out[1].Result != nil {
+		t.Fatal("result/error pairing wrong")
+	}
+}
+
+func TestReconstructManyCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	rows, cols := 16, 16
+	x, _ := sparseLandscape(rng, rows, cols, 2)
+	idx, _ := SampleIndices(rng, rows*cols, 80)
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Rows: rows, Cols: cols, Idx: idx, Y: y, Opt: DefaultOptions()}
+	}
+	out := ReconstructMany(ctx, jobs...)
+	for i, jr := range out {
+		if !errors.Is(jr.Err, context.Canceled) {
+			t.Fatalf("job %d: err = %v, want context.Canceled", i, jr.Err)
+		}
+	}
+	if out := ReconstructMany(context.Background()); len(out) != 0 {
+		t.Fatalf("zero jobs returned %d results", len(out))
+	}
+}
+
+// TestLambdaRelDefault pins the documented default penalty: a zero-valued
+// Options must use the same LambdaRel as DefaultOptions (0.001).
+func TestLambdaRelDefault(t *testing.T) {
+	if got := DefaultOptions().LambdaRel; got != 0.001 {
+		t.Fatalf("DefaultOptions().LambdaRel = %g, want 0.001", got)
+	}
+	var opt Options
+	opt.fill()
+	if opt.LambdaRel != DefaultOptions().LambdaRel {
+		t.Fatalf("zero Options fills LambdaRel=%g, DefaultOptions uses %g — defaults diverged",
+			opt.LambdaRel, DefaultOptions().LambdaRel)
+	}
+	explicit := Options{LambdaRel: 0.05}
+	explicit.fill()
+	if explicit.LambdaRel != 0.05 {
+		t.Fatalf("fill clobbered an explicit LambdaRel: %g", explicit.LambdaRel)
+	}
+}
+
 func TestMethodString(t *testing.T) {
 	if FISTA.String() != "fista" || ISTA.String() != "ista" || OMP.String() != "omp" {
 		t.Error("method names wrong")
@@ -344,5 +697,21 @@ func TestReconstruct1D(t *testing.T) {
 	}
 	if e := relErr(res.X, x); e > 0.01 {
 		t.Fatalf("1-D relative error %g", e)
+	}
+	if len(res.X) != n || len(res.Coeffs) != n {
+		t.Fatalf("1-D result shape %d/%d, want %d", len(res.X), len(res.Coeffs), n)
+	}
+}
+
+// TestReconstruct1DValidation: the 1-D entry point inherits 2-D validation.
+func TestReconstruct1DValidation(t *testing.T) {
+	if _, err := Reconstruct1D(0, []int{0}, []float64{1}, DefaultOptions()); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := Reconstruct1D(10, []int{10}, []float64{1}, DefaultOptions()); err == nil {
+		t.Error("want error for out-of-range index")
+	}
+	if _, err := Reconstruct1D(10, []int{1, 1}, []float64{1, 1}, DefaultOptions()); err == nil {
+		t.Error("want error for duplicate index")
 	}
 }

@@ -3,6 +3,8 @@ package dct
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Plan computes orthonormal DCT-II (forward) and DCT-III (inverse)
@@ -91,6 +93,21 @@ func (p *Plan) check(dst, src []float64) {
 	}
 }
 
+// clone returns a plan that shares p's immutable precomputed tables (twiddle
+// factors, bit-reversal permutation, chirp filters, DCT scaling) but owns its
+// scratch buffers, so the clone can transform concurrently with p. Because the
+// tables are shared, a clone produces bit-identical output to its original.
+func (p *Plan) clone() *Plan {
+	q := *p
+	q.buf = make([]complex128, len(p.buf))
+	fft := *p.fft
+	if fft.scratch != nil {
+		fft.scratch = make([]complex128, len(fft.scratch))
+	}
+	q.fft = &fft
+	return &q
+}
+
 // ForwardDirect computes the orthonormal DCT-II by direct O(n^2) summation.
 // It exists as a reference implementation for tests and for the DCT ablation
 // benchmark.
@@ -132,27 +149,72 @@ func InverseDirect(y []float64) []float64 {
 // Plan2D computes separable orthonormal 2-D DCTs on row-major rows×cols
 // data. It is the sparsifying transform used by the compressed-sensing
 // solver: a landscape X is represented as X = IDCT2(S) with S sparse.
+//
+// A plan built with NewPlan2DWorkers shards the independent row-pass and
+// column-pass transforms across a worker pool. Each worker transforms whole
+// rows (or columns) with its own clone of the 1-D plan, so output is
+// bit-identical to the serial plan for every worker count.
 type Plan2D struct {
 	rows, cols int
-	rowPlan    *Plan // length cols
-	colPlan    *Plan // length rows
-	colBuf     []float64
-	colOut     []float64
+	workers    int
+	rowPlans   []*Plan // one length-cols plan per worker slot
+	colPlans   []*Plan // one length-rows plan per worker slot
+	colBufs    [][]float64
+	colOuts    [][]float64
 }
 
-// NewPlan2D creates a 2-D DCT plan for row-major rows×cols grids.
-func NewPlan2D(rows, cols int) *Plan2D {
+// serialMinSize is the grid size below which parallel plans fall back to a
+// single worker: per-transform work is so small there that goroutine fan-out
+// costs more than it saves.
+const serialMinSize = 4096
+
+// NewPlan2D creates a serial 2-D DCT plan for row-major rows×cols grids.
+func NewPlan2D(rows, cols int) *Plan2D { return NewPlan2DWorkers(rows, cols, 1) }
+
+// NewPlan2DWorkers creates a 2-D DCT plan that shards the row and column
+// passes across up to workers goroutines (0 = GOMAXPROCS). Small grids
+// (rows*cols < 4096) fall back to a serial plan regardless of workers; the
+// result is bit-identical to NewPlan2D's in every case.
+func NewPlan2DWorkers(rows, cols, workers int) *Plan2D {
 	if rows <= 0 || cols <= 0 {
 		panic(fmt.Sprintf("dct: invalid 2-D DCT shape %dx%d", rows, cols))
 	}
-	return &Plan2D{
-		rows:    rows,
-		cols:    cols,
-		rowPlan: NewPlan(cols),
-		colPlan: NewPlan(rows),
-		colBuf:  make([]float64, rows),
-		colOut:  make([]float64, rows),
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if rows*cols < serialMinSize {
+		workers = 1
+	}
+	if m := max(rows, cols); workers > m {
+		workers = m
+	}
+	// Each pass can use at most one shard per row (or column), so a
+	// degenerate shape like the 1xN grids of Reconstruct1D does not
+	// allocate plan clones that could never run.
+	rowSlots := min(workers, rows)
+	colSlots := min(workers, cols)
+	p := &Plan2D{
+		rows:     rows,
+		cols:     cols,
+		workers:  workers,
+		rowPlans: make([]*Plan, rowSlots),
+		colPlans: make([]*Plan, colSlots),
+		colBufs:  make([][]float64, colSlots),
+		colOuts:  make([][]float64, colSlots),
+	}
+	p.rowPlans[0] = NewPlan(cols)
+	p.colPlans[0] = NewPlan(rows)
+	for w := 1; w < rowSlots; w++ {
+		p.rowPlans[w] = p.rowPlans[0].clone()
+	}
+	for w := 1; w < colSlots; w++ {
+		p.colPlans[w] = p.colPlans[0].clone()
+	}
+	for w := 0; w < colSlots; w++ {
+		p.colBufs[w] = make([]float64, rows)
+		p.colOuts[w] = make([]float64, rows)
+	}
+	return p
 }
 
 // Rows reports the number of rows the plan transforms.
@@ -161,12 +223,41 @@ func (p *Plan2D) Rows() int { return p.rows }
 // Cols reports the number of columns the plan transforms.
 func (p *Plan2D) Cols() int { return p.cols }
 
+// Workers reports the effective worker count (1 after the small-grid serial
+// fallback).
+func (p *Plan2D) Workers() int { return p.workers }
+
 // Forward computes the 2-D orthonormal DCT-II of src into dst (row-major,
 // length rows*cols). dst and src may alias.
 func (p *Plan2D) Forward(dst, src []float64) { p.apply(dst, src, true) }
 
 // Inverse computes the 2-D orthonormal DCT-III of src into dst.
 func (p *Plan2D) Inverse(dst, src []float64) { p.apply(dst, src, false) }
+
+// forShards splits [0, n) into w contiguous shards on the same deterministic
+// i*n/w boundaries internal/exec uses for chunking and runs fn once per
+// shard, concurrently when w > 1. fn receives the shard's worker slot so it
+// can use per-slot plans and scratch; shards write disjoint output, so no
+// synchronization beyond the final wait is needed.
+func forShards(w, n int, fn func(slot, lo, hi int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for slot := 0; slot < w; slot++ {
+		lo, hi := slot*n/w, (slot+1)*n/w
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			fn(slot, lo, hi)
+		}(slot, lo, hi)
+	}
+	wg.Wait()
+}
 
 func (p *Plan2D) apply(dst, src []float64, forward bool) {
 	n := p.rows * p.cols
@@ -176,25 +267,40 @@ func (p *Plan2D) apply(dst, src []float64, forward bool) {
 	if &dst[0] != &src[0] {
 		copy(dst, src)
 	}
-	for r := 0; r < p.rows; r++ {
-		row := dst[r*p.cols : (r+1)*p.cols]
-		if forward {
-			p.rowPlan.Forward(row, row)
-		} else {
-			p.rowPlan.Inverse(row, row)
-		}
+	// The length-1 orthonormal DCT is the exact identity (bit-for-bit), so
+	// a degenerate axis skips its pass entirely — 1xN grids (Reconstruct1D)
+	// would otherwise pay N trivial column transforms per application.
+	if p.cols > 1 {
+		forShards(p.workers, p.rows, func(slot, lo, hi int) {
+			plan := p.rowPlans[slot]
+			for r := lo; r < hi; r++ {
+				row := dst[r*p.cols : (r+1)*p.cols]
+				if forward {
+					plan.Forward(row, row)
+				} else {
+					plan.Inverse(row, row)
+				}
+			}
+		})
 	}
-	for c := 0; c < p.cols; c++ {
-		for r := 0; r < p.rows; r++ {
-			p.colBuf[r] = dst[r*p.cols+c]
-		}
-		if forward {
-			p.colPlan.Forward(p.colOut, p.colBuf)
-		} else {
-			p.colPlan.Inverse(p.colOut, p.colBuf)
-		}
-		for r := 0; r < p.rows; r++ {
-			dst[r*p.cols+c] = p.colOut[r]
-		}
+	if p.rows == 1 {
+		return
 	}
+	forShards(p.workers, p.cols, func(slot, lo, hi int) {
+		plan := p.colPlans[slot]
+		buf, out := p.colBufs[slot], p.colOuts[slot]
+		for c := lo; c < hi; c++ {
+			for r := 0; r < p.rows; r++ {
+				buf[r] = dst[r*p.cols+c]
+			}
+			if forward {
+				plan.Forward(out, buf)
+			} else {
+				plan.Inverse(out, buf)
+			}
+			for r := 0; r < p.rows; r++ {
+				dst[r*p.cols+c] = out[r]
+			}
+		}
+	})
 }

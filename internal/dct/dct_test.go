@@ -283,6 +283,108 @@ func TestPlan2DIsometry(t *testing.T) {
 	}
 }
 
+// TestPlan2DParallelBitIdentical is the sharded-solver contract: a parallel
+// plan must produce bit-for-bit the serial plan's output for every worker
+// count, both directions, on grids above and below the serial fallback.
+func TestPlan2DParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shapes := [][2]int{{50, 100}, {64, 64}, {70, 90}, {1, 8192}, {4096, 1}, {3, 5}}
+	for _, shape := range shapes {
+		rows, cols := shape[0], shape[1]
+		serial := NewPlan2D(rows, cols)
+		x := randVec(rng, rows*cols)
+		wantF := make([]float64, rows*cols)
+		serial.Forward(wantF, x)
+		wantI := make([]float64, rows*cols)
+		serial.Inverse(wantI, x)
+		for _, workers := range []int{0, 2, 3, 4, 8} {
+			par := NewPlan2DWorkers(rows, cols, workers)
+			gotF := make([]float64, rows*cols)
+			par.Forward(gotF, x)
+			gotI := make([]float64, rows*cols)
+			par.Inverse(gotI, x)
+			for i := range wantF {
+				if gotF[i] != wantF[i] {
+					t.Fatalf("%dx%d workers=%d: Forward[%d]=%v, serial %v", rows, cols, workers, i, gotF[i], wantF[i])
+				}
+				if gotI[i] != wantI[i] {
+					t.Fatalf("%dx%d workers=%d: Inverse[%d]=%v, serial %v", rows, cols, workers, i, gotI[i], wantI[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPlan2DDegenerateAxisMatches1D: a 1xN (or Nx1) 2-D plan must equal the
+// 1-D plan bitwise — the length-1 pass on the degenerate axis is the exact
+// identity and is skipped.
+func TestPlan2DDegenerateAxisMatches1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 7, 100, 5000} {
+		x := randVec(rng, n)
+		want := make([]float64, n)
+		NewPlan(n).Forward(want, x)
+		for _, shape := range [][2]int{{1, n}, {n, 1}} {
+			p := NewPlan2D(shape[0], shape[1])
+			got := make([]float64, n)
+			p.Forward(got, x)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%dx%d: Forward[%d]=%v, 1-D plan %v", shape[0], shape[1], i, got[i], want[i])
+				}
+			}
+			back := make([]float64, n)
+			p.Inverse(back, got)
+			for i := range back {
+				if !approxEq(back[i], x[i], 1e-9) {
+					t.Fatalf("%dx%d: roundtrip[%d]=%g want %g", shape[0], shape[1], i, back[i], x[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPlan2DSerialFallback pins the small-grid rule: under 4096 points a
+// parallel plan degrades to one worker.
+func TestPlan2DSerialFallback(t *testing.T) {
+	if w := NewPlan2DWorkers(10, 10, 8).Workers(); w != 1 {
+		t.Errorf("10x10 plan reports %d workers, want serial fallback 1", w)
+	}
+	if w := NewPlan2DWorkers(63, 65, 8).Workers(); w != 1 {
+		t.Errorf("63x65 (4095 pts) plan reports %d workers, want 1", w)
+	}
+	if w := NewPlan2DWorkers(64, 64, 8).Workers(); w != 8 {
+		t.Errorf("64x64 plan reports %d workers, want 8", w)
+	}
+	// Worker count never exceeds the longer grid side.
+	if w := NewPlan2DWorkers(2, 4096, 16384).Workers(); w > 4096 {
+		t.Errorf("2x4096 plan reports %d workers, want <= 4096", w)
+	}
+	if NewPlan2DWorkers(64, 64, 0).Workers() < 1 {
+		t.Error("workers=0 must resolve to at least one worker")
+	}
+}
+
+// TestPlan2DParallelReuse exercises a parallel plan repeatedly (the FISTA
+// loop's access pattern) to shake out scratch-buffer sharing bugs under the
+// race detector.
+func TestPlan2DParallelReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	p := NewPlan2DWorkers(50, 100, 4)
+	x := randVec(rng, 5000)
+	first := make([]float64, 5000)
+	p.Forward(first, x)
+	for trial := 0; trial < 10; trial++ {
+		got := make([]float64, 5000)
+		p.Forward(got, x)
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: Forward[%d] drifted: %v vs %v", trial, i, got[i], first[i])
+			}
+		}
+	}
+}
+
 func TestPlanPanicsOnBadSize(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,37 @@
+package exec
+
+import "sync"
+
+// ForRange splits the index range [0, n) into at most workers contiguous
+// shards and invokes fn(lo, hi) once per shard, concurrently when more than
+// one shard results. It is the data-parallel sibling of the engine's batch
+// chunking and follows the same determinism conventions: shard boundaries are
+// the fixed i*n/w split, so a given (workers, n) pair always yields the same
+// shards, and fn must only write state that is disjoint across shards (e.g.
+// dst[lo:hi]), making the combined result independent of scheduling order.
+//
+// workers <= 1, n <= 1, or a single resulting shard runs fn inline on the
+// calling goroutine with no synchronization. The compressed-sensing solver
+// uses ForRange for its per-element vector kernels.
+func ForRange(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,88 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRangeCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 16, 100, 4097} {
+			hits := make([]int32, n)
+			ForRange(workers, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad shard [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForRangeMoreWorkersThanItems(t *testing.T) {
+	var calls int32
+	ForRange(64, 3, func(lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		if hi-lo != 1 {
+			t.Errorf("shard [%d,%d) should be a single index", lo, hi)
+		}
+	})
+	if calls != 3 {
+		t.Fatalf("got %d shards, want 3", calls)
+	}
+}
+
+func TestForRangeDeterministicBoundaries(t *testing.T) {
+	collect := func() [][2]int {
+		ch := make(chan [2]int, 4)
+		ForRange(4, 10, func(lo, hi int) { ch <- [2]int{lo, hi} })
+		close(ch)
+		var shards [][2]int
+		for b := range ch {
+			shards = append(shards, b)
+		}
+		return shards
+	}
+	a, b := collect(), collect()
+	seen := func(shards [][2]int) map[[2]int]bool {
+		m := map[[2]int]bool{}
+		for _, s := range shards {
+			m[s] = true
+		}
+		return m
+	}
+	sa, sb := seen(a), seen(b)
+	if len(sa) != len(sb) {
+		t.Fatalf("shard sets differ in size: %v vs %v", a, b)
+	}
+	for s := range sa {
+		if !sb[s] {
+			t.Fatalf("shard %v missing from second run (%v vs %v)", s, a, b)
+		}
+	}
+	// The i*n/w rule for (4, 10): [0,2) [2,5) [5,7) [7,10).
+	want := map[[2]int]bool{{0, 2}: true, {2, 5}: true, {5, 7}: true, {7, 10}: true}
+	for s := range want {
+		if !sa[s] {
+			t.Fatalf("expected shard %v, got %v", s, a)
+		}
+	}
+}
+
+func TestForRangeSerialInline(t *testing.T) {
+	var got [][2]int
+	// workers=1 must run inline (appending without synchronization is the
+	// proof: the race detector would flag a goroutine).
+	ForRange(1, 50, func(lo, hi int) { got = append(got, [2]int{lo, hi}) })
+	if len(got) != 1 || got[0] != [2]int{0, 50} {
+		t.Fatalf("serial ForRange shards = %v, want one [0,50)", got)
+	}
+}

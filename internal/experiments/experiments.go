@@ -18,7 +18,8 @@ import (
 type Config struct {
 	// Seed drives every random choice; runs are deterministic given it.
 	Seed int64
-	// Workers bounds parallel circuit evaluation (0 = GOMAXPROCS).
+	// Workers bounds parallel circuit evaluation and solver sharding
+	// (0 = GOMAXPROCS).
 	Workers int
 	// Quick reduces instance counts and qubit sizes for fast runs.
 	Quick bool

@@ -125,6 +125,32 @@ func ReconstructFromSamples(g *Grid, idx []int, values []float64, opt Options) (
 	return core.ReconstructFromSamples(g, idx, values, opt)
 }
 
+// ReconstructFromSamplesContext is ReconstructFromSamples with cancellation
+// threaded through the sharded solver.
+func ReconstructFromSamplesContext(ctx context.Context, g *Grid, idx []int, values []float64, opt Options) (*Landscape, *Stats, error) {
+	return core.ReconstructFromSamplesContext(ctx, g, idx, values, opt)
+}
+
+// Sharded reconstruction types. The solver phase — FISTA over the 2-D DCT —
+// shards its row/column transforms and vector kernels across a worker pool
+// (Options.Workers / SolverOptions.Workers), bit-identically to a serial
+// solve, and ReconstructMany solves whole fleets of independent landscapes
+// concurrently.
+type (
+	// ReconJob is one independent reconstruction (rows, cols, sampled
+	// indices, measured values, solver options).
+	ReconJob = cs.Job
+	// ReconJobResult pairs a ReconJob's result with its error.
+	ReconJobResult = cs.JobResult
+)
+
+// ReconstructMany solves independent reconstruction jobs concurrently with
+// per-job error isolation; results are index-aligned with jobs. A canceled
+// ctx stops in-flight solves and marks unfinished jobs with ctx.Err().
+func ReconstructMany(ctx context.Context, jobs ...ReconJob) []ReconJobResult {
+	return cs.ReconstructMany(ctx, jobs...)
+}
+
 // GenerateDense runs the full grid search OSCAR replaces (ground truth).
 func GenerateDense(g *Grid, eval EvalFunc, workers int) (*Landscape, error) {
 	return landscape.Generate(g, eval, workers)
