@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/dct"
 	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/landscape"
 	"repro/internal/noise"
 	"repro/internal/problem"
@@ -368,6 +370,118 @@ func BenchmarkGenerateEngine(b *testing.B) {
 			}
 		}
 	})
+
+	// Dense landscape via full state-vector simulation (the ground-truth
+	// path for problems with no closed form): the zero-allocation simulator
+	// engine against the seed per-point path (fresh 2^n state per point,
+	// one full-state pass per Hamiltonian term), both through the same
+	// batched engine, on two 12-qubit MaxCut instances. The seed cost is
+	// O((gates + |E|) * 2^n) per point while the engine's is
+	// O(gates * 2^n) + O(2^n), so the speedup grows with edge count; the
+	// acceptance bar for this PR is >= 3x on an |E| >= 10 instance.
+	svRng := rand.New(rand.NewSource(78))
+	prob3reg, err := problem.Random3RegularMaxCut(12, svRng) // |E| = 18
+	if err != nil {
+		b.Fatal(err)
+	}
+	kGraph, err := graph.SK(12, svRng) // complete graph, |E| = 66
+	if err != nil {
+		b.Fatal(err)
+	}
+	probK12, err := problem.MaxCut("k12-maxcut", kGraph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		prob *problem.Problem
+	}{
+		{"3reg18", prob3reg},
+		{"complete66", probK12},
+	} {
+		svAns, err := QAOAAnsatz(tc.prob, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sv, err := backend.NewStateVector(tc.prob, svAns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svProb, svCircuit := tc.prob, svAns.Circuit
+		seedPath := &backend.Func{
+			Label:  "sv-seed-" + tc.name,
+			Params: svAns.NumParams,
+			F: func(params []float64) (float64, error) {
+				return seedEvaluate(svCircuit, params, svProb.Hamiltonian)
+			},
+		}
+		b.Run("statevector-engine-"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := landscape.GenerateBatch(context.Background(), grid, exec.FromEvaluator(sv), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("statevector-seed-"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := landscape.GenerateBatch(context.Background(), grid, exec.FromEvaluator(seedPath), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStateVectorBatch measures the simulator's native batch path
+// directly (no engine): pooled scratch states, the fused diagonal
+// expectation, and deterministic point shards. allocs/point must sit at
+// zero in steady state — run with -benchmem; the reported allocations per
+// op are for a whole 5000-point batch, and the explicit allocs/point metric
+// divides them out.
+func BenchmarkStateVectorBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(79))
+	p, err := problem.Random3RegularMaxCut(12, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := QAOAAnsatz(p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := QAOAGrid(1, 50, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := grid.AllPoints()
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers-%d", workers)
+		if workers == 0 {
+			name = "workers-max"
+		}
+		b.Run(name, func(b *testing.B) {
+			sv, err := backend.NewStateVector(p, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sv.SetWorkers(workers)
+			if _, err := sv.EvaluateBatch(context.Background(), pts); err != nil {
+				b.Fatal(err) // warm the scratch pool
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var allocs0 runtime.MemStats
+			runtime.ReadMemStats(&allocs0)
+			for i := 0; i < b.N; i++ {
+				if _, err := sv.EvaluateBatch(context.Background(), pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var allocs1 runtime.MemStats
+			runtime.ReadMemStats(&allocs1)
+			perPoint := float64(allocs1.Mallocs-allocs0.Mallocs) / float64(b.N) / float64(len(pts))
+			b.ReportMetric(perPoint, "allocs/point")
+		})
+	}
 }
 
 // BenchmarkReconstructParallel compares the serial solver against the

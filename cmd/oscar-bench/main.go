@@ -23,7 +23,7 @@ func main() {
 		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		full    = flag.Bool("full", false, "paper-scale instance counts (slow)")
 		seed    = flag.Int64("seed", 2023, "random seed")
-		workers = flag.Int("workers", 0, "worker pool for circuit evaluation and the sharded reconstruction solver (0 = GOMAXPROCS, 1 = fully serial)")
+		workers = flag.Int("workers", 0, "worker pool for circuit evaluation (simulator batches included) and the sharded reconstruction solver (0 = GOMAXPROCS, 1 = fully serial)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/problem"
 	"repro/internal/qaoa"
 	"repro/internal/qsim"
+	"repro/internal/shard"
 )
 
 // Evaluator computes the VQA cost at a parameter vector. Implementations
@@ -65,11 +67,55 @@ func evalPointwise(ctx context.Context, eval func([]float64) (float64, error), p
 	return out, nil
 }
 
-// StateVector is the exact (infinite-shot) ideal evaluator.
+// shardRange runs fn over the deterministic contiguous shards of [0, n)
+// (the shared shard.ForRange split — backend cannot import exec, which
+// imports backend, so it reaches the primitive directly), adding the error
+// and cancellation handling batch evaluation needs: fn owns [lo, hi)
+// exclusively, must honor ctx, and the first error cancels the remaining
+// shards. Serial budgets run fn inline.
+func shardRange(ctx context.Context, workers, n int, fn func(ctx context.Context, lo, hi int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers <= 1 || n <= 1 {
+		return fn(ctx, 0, n)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	shard.ForRange(workers, n, func(lo, hi int) {
+		if err := fn(cctx, lo, hi); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			cancel()
+		}
+	})
+	// Prefer the parent context's error: a shard that observed the derived
+	// cancellation should not mask the caller's ctx.Err().
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// StateVector is the exact (infinite-shot) ideal evaluator. It re-runs the
+// ansatz circuit into pooled scratch states (zero allocations per point in
+// steady state) and, for diagonal Hamiltonians (MaxCut, SK), evaluates the
+// cost as one fused |amp|^2 * E pass over the problem's precomputed energy
+// table instead of one full-state pass per Hamiltonian term.
 type StateVector struct {
-	name string
-	prob *problem.Problem
-	ans  *ansatz.Ansatz
+	name    string
+	prob    *problem.Problem
+	ans     *ansatz.Ansatz
+	diag    []float64 // cached diagonal energy table; nil for off-diagonal H
+	workers int
+	pool    sync.Pool // *qsim.State scratch, one live per concurrent shard
 }
 
 // NewStateVector builds an exact evaluator for an ansatz on a problem.
@@ -77,11 +123,22 @@ func NewStateVector(p *problem.Problem, a *ansatz.Ansatz) (*StateVector, error) 
 	if p.N() != a.Circuit.N() {
 		return nil, fmt.Errorf("backend: %d-qubit ansatz for %d-qubit problem", a.Circuit.N(), p.N())
 	}
-	return &StateVector{
-		name: fmt.Sprintf("sv(%s,%s)", p.Name, a.Name),
-		prob: p,
-		ans:  a,
-	}, nil
+	e := &StateVector{
+		name:    fmt.Sprintf("sv(%s,%s)", p.Name, a.Name),
+		prob:    p,
+		ans:     a,
+		workers: 1,
+	}
+	if p.Hamiltonian.IsDiagonal() {
+		diag, err := p.DiagonalTable()
+		if err != nil {
+			return nil, err
+		}
+		e.diag = diag
+	}
+	n := a.Circuit.N()
+	e.pool.New = func() any { return qsim.NewState(n) }
+	return e, nil
 }
 
 // Name implements Evaluator.
@@ -90,30 +147,104 @@ func (e *StateVector) Name() string { return e.name }
 // NumParams implements Evaluator.
 func (e *StateVector) NumParams() int { return e.ans.NumParams }
 
-// Evaluate implements Evaluator.
-func (e *StateVector) Evaluate(params []float64) (float64, error) {
-	s, err := qsim.Run(e.ans.Circuit, params)
-	if err != nil {
+// SetWorkers sets the worker budget for direct EvaluateBatch calls
+// (0 = GOMAXPROCS; the constructor default of 1 runs points serially, which
+// is right when an exec.Engine already fans chunks out across workers).
+// Large batches shard deterministically across points; batches smaller than
+// the budget instead shard each point's gate kernels over their amplitude
+// ranges. Both layouts are bit-identical to a serial run. Returns e.
+func (e *StateVector) SetWorkers(w int) *StateVector {
+	e.workers = w
+	return e
+}
+
+// resolveWorkers maps the configured budget onto a batch of n points,
+// returning the point-level and kernel-level worker counts. Batches smaller
+// than the budget hand the whole budget to amplitude-level kernel sharding
+// instead — but only when the evaluator's states are big enough for that to
+// engage (kernelShardable); otherwise the budget stays at the point level,
+// clamped to the batch.
+func resolveWorkers(configured, n int, kernelShardable bool) (points, kernels int) {
+	w := configured
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n >= w || !kernelShardable {
+		if w > n && n > 0 {
+			w = n
+		}
+		return w, 1
+	}
+	return 1, w
+}
+
+// evaluateInto runs the circuit into the reused scratch state and measures
+// the cost, allocating nothing.
+func (e *StateVector) evaluateInto(s *qsim.State, params []float64) (float64, error) {
+	if err := qsim.RunInto(s, e.ans.Circuit, params); err != nil {
 		return 0, err
+	}
+	if e.diag != nil {
+		return s.ExpectationDiagonal(e.diag)
 	}
 	return s.Expectation(e.prob.Hamiltonian)
 }
 
-// EvaluateBatch implements exec.BatchEvaluator natively, checking ctx
-// between circuit executions.
+// Evaluate implements Evaluator.
+func (e *StateVector) Evaluate(params []float64) (float64, error) {
+	s := e.pool.Get().(*qsim.State)
+	defer e.pool.Put(s)
+	return e.evaluateInto(s.SetWorkers(1), params)
+}
+
+// EvaluateBatch implements exec.BatchEvaluator natively: deterministic
+// contiguous shards across the batch, one pooled scratch state per shard,
+// ctx checked between points. Values are bit-identical to point-at-a-time
+// Evaluate for every worker count.
 func (e *StateVector) EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error) {
-	return evalPointwise(ctx, e.Evaluate, params)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]float64, len(params))
+	pw, kw := resolveWorkers(e.workers, len(params), qsim.KernelShardable(e.ans.Circuit.N()))
+	err := shardRange(ctx, pw, len(params), func(ctx context.Context, lo, hi int) error {
+		s := e.pool.Get().(*qsim.State)
+		defer e.pool.Put(s)
+		s.SetWorkers(kw)
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := e.evaluateInto(s, params[i])
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Density is the exact noisy evaluator: density-matrix simulation with
 // per-gate depolarizing channels and readout error. Cost is 4^n, so it is
 // reserved for small problems (n <= 13); larger noisy landscapes use the
-// analytic damping model.
+// analytic damping model. Like StateVector, it re-runs circuits into pooled
+// density matrices whose 4^n buffers (state plus channel scratch) are reused
+// across every point, and evaluates diagonal Hamiltonians against the
+// problem's cached energy table.
 type Density struct {
 	name    string
 	prob    *problem.Problem
 	ans     *ansatz.Ansatz
 	profile noise.Profile
+	hook    func(d *qsim.DensityMatrix, g qsim.Gate) error
+	diag    []float64 // cached diagonal energy table; nil for off-diagonal H
+	workers int
+	pool    sync.Pool // *qsim.DensityMatrix scratch
 }
 
 // NewDensity builds an exact noisy evaluator.
@@ -127,27 +258,21 @@ func NewDensity(p *problem.Problem, a *ansatz.Ansatz, prof noise.Profile) (*Dens
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
-	return &Density{
+	e := &Density{
 		name:    fmt.Sprintf("dm(%s,%s,%s)", p.Name, a.Name, prof.Name),
 		prob:    p,
 		ans:     a,
 		profile: prof,
-	}, nil
-}
-
-// Name implements Evaluator.
-func (e *Density) Name() string { return e.name }
-
-// NumParams implements Evaluator.
-func (e *Density) NumParams() int { return e.ans.NumParams }
-
-// Profile returns the evaluator's noise profile.
-func (e *Density) Profile() noise.Profile { return e.profile }
-
-// Evaluate implements Evaluator.
-func (e *Density) Evaluate(params []float64) (float64, error) {
-	prof := e.profile
-	dm, err := qsim.RunDensity(e.ans.Circuit, params, func(d *qsim.DensityMatrix, g qsim.Gate) error {
+		workers: 1,
+	}
+	if p.Hamiltonian.IsDiagonal() {
+		diag, err := p.DiagonalTable()
+		if err != nil {
+			return nil, err
+		}
+		e.diag = diag
+	}
+	e.hook = func(d *qsim.DensityMatrix, g qsim.Gate) error {
 		switch len(g.Qubits) {
 		case 1:
 			return d.Depolarize1Q(g.Qubits[0], prof.P1)
@@ -164,19 +289,47 @@ func (e *Density) Evaluate(params []float64) (float64, error) {
 			}
 			return nil
 		}
-	})
-	if err != nil {
+	}
+	n := a.Circuit.N()
+	e.pool.New = func() any { return qsim.NewDensityMatrix(n) }
+	return e, nil
+}
+
+// Name implements Evaluator.
+func (e *Density) Name() string { return e.name }
+
+// NumParams implements Evaluator.
+func (e *Density) NumParams() int { return e.ans.NumParams }
+
+// Profile returns the evaluator's noise profile.
+func (e *Density) Profile() noise.Profile { return e.profile }
+
+// SetWorkers sets the worker budget for direct EvaluateBatch calls
+// (0 = GOMAXPROCS, constructor default 1); see StateVector.SetWorkers.
+func (e *Density) SetWorkers(w int) *Density {
+	e.workers = w
+	return e
+}
+
+// evaluateInto runs the noisy circuit into the reused density matrix and
+// measures the cost.
+func (e *Density) evaluateInto(dm *qsim.DensityMatrix, params []float64) (float64, error) {
+	prof := e.profile
+	if err := qsim.RunDensityInto(dm, e.ans.Circuit, params, e.hook); err != nil {
 		return 0, err
 	}
 	if prof.Readout01 == 0 && prof.Readout10 == 0 {
+		if e.diag != nil {
+			return dm.ExpectationDiagonal(e.diag)
+		}
 		return dm.Expectation(e.prob.Hamiltonian)
 	}
-	if e.prob.Hamiltonian.IsDiagonal() {
+	if e.diag != nil {
 		probs, err := qsim.ApplyReadoutError(dm.Probabilities(), e.prob.N(), prof.Readout01, prof.Readout10)
 		if err != nil {
 			return 0, err
 		}
-		return qsim.ExpectationFromDistribution(e.prob.Hamiltonian, probs)
+		return qsim.ExpectationFromDistributionTable(e.diag, probs)
 	}
 	// Off-diagonal Hamiltonians: apply the standard per-qubit Z damping of
 	// the confusion matrix to each term's expectation.
@@ -192,11 +345,44 @@ func (e *Density) Evaluate(params []float64) (float64, error) {
 	return total, nil
 }
 
+// Evaluate implements Evaluator.
+func (e *Density) Evaluate(params []float64) (float64, error) {
+	dm := e.pool.Get().(*qsim.DensityMatrix)
+	defer e.pool.Put(dm)
+	return e.evaluateInto(dm, params)
+}
+
 // EvaluateBatch implements exec.BatchEvaluator natively. Density-matrix
 // evaluations are the heaviest per-point cost in the repo (4^n state), so
-// mid-batch cancellation matters most here.
+// mid-batch cancellation matters most here: ctx is checked between points
+// in every shard.
 func (e *Density) EvaluateBatch(ctx context.Context, params [][]float64) ([]float64, error) {
-	return evalPointwise(ctx, e.Evaluate, params)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]float64, len(params))
+	// Density matrices have no amplitude-level sharding, so the budget
+	// always applies at the point level.
+	pw, _ := resolveWorkers(e.workers, len(params), false)
+	err := shardRange(ctx, pw, len(params), func(ctx context.Context, lo, hi int) error {
+		dm := e.pool.Get().(*qsim.DensityMatrix)
+		defer e.pool.Put(dm)
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := e.evaluateInto(dm, params[i])
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AnalyticQAOA evaluates depth-1 QAOA cut costs through the closed-form

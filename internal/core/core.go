@@ -32,10 +32,12 @@ type Options struct {
 	SamplingFraction float64
 	// Seed drives parameter sampling. Runs are deterministic given a seed.
 	Seed int64
-	// Workers bounds parallel circuit execution and, unless
-	// Solver.Workers is set explicitly, also shards the reconstruction
-	// solver (0 = GOMAXPROCS). Sharding the solver is bit-identical to a
-	// serial solve for every worker count.
+	// Workers bounds parallel circuit execution (the engine fans batch
+	// chunks out to the evaluator's native batch path, e.g. the
+	// zero-allocation StateVector simulator) and, unless Solver.Workers is
+	// set explicitly, also shards the reconstruction solver
+	// (0 = GOMAXPROCS). Sharding the solver is bit-identical to a serial
+	// solve for every worker count.
 	Workers int
 	// Solver configures the compressed-sensing solver; zero value means
 	// cs.DefaultOptions.

@@ -197,6 +197,31 @@ func (e *Engine) run(ctx context.Context, work [][]float64, values []float64) er
 	}
 	size := chunkSize(len(work), workers, e.opts.ChunkSize)
 
+	if workers <= 1 {
+		// Serial fast path: no channel, no goroutines, no derived context —
+		// chunks run inline in ascending order (the order the engine already
+		// guarantees under Workers=1), so native zero-allocation backends
+		// see no scheduling overhead at all.
+		for lo := 0; lo < len(work); lo += size {
+			hi := lo + size
+			if hi > len(work) {
+				hi = len(work)
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			vals, err := e.inner.EvaluateBatch(ctx, work[lo:hi])
+			if err != nil {
+				return err
+			}
+			if len(vals) != hi-lo {
+				return errors.New("exec: inner evaluator returned wrong batch length")
+			}
+			copy(values[lo:hi], vals)
+		}
+		return nil
+	}
+
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 

@@ -1,6 +1,6 @@
 package exec
 
-import "sync"
+import "repro/internal/shard"
 
 // ForRange splits the index range [0, n) into at most workers contiguous
 // shards and invokes fn(lo, hi) once per shard, concurrently when more than
@@ -12,26 +12,9 @@ import "sync"
 //
 // workers <= 1, n <= 1, or a single resulting shard runs fn inline on the
 // calling goroutine with no synchronization. The compressed-sensing solver
-// uses ForRange for its per-element vector kernels.
+// uses ForRange for its per-element vector kernels; the implementation is
+// the shared shard.ForRange primitive the simulators' gate kernels and the
+// backend batch paths also run on.
 func ForRange(workers, n int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	shard.ForRange(workers, n, fn)
 }

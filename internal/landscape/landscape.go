@@ -99,12 +99,17 @@ func (g *Grid) Dims() []int {
 // Point returns the parameter vector of flat index idx.
 func (g *Grid) Point(idx int) []float64 {
 	p := make([]float64, len(g.Axes))
+	g.pointInto(p, idx)
+	return p
+}
+
+// pointInto writes the parameter vector of flat index idx into p.
+func (g *Grid) pointInto(p []float64, idx int) {
 	for i := len(g.Axes) - 1; i >= 0; i-- {
 		a := g.Axes[i]
 		p[i] = a.Value(idx % a.N)
 		idx /= a.N
 	}
-	return p
 }
 
 // Index returns the flat index of multi-index mi.
@@ -201,20 +206,31 @@ func (l *Landscape) Reshape4DTo2D() (*Landscape, error) {
 type EvalFunc func(params []float64) (float64, error)
 
 // Points materializes the parameter vectors of the given flat indices — the
-// batch a grid scan submits to the execution engine.
+// batch a grid scan submits to the execution engine. All vectors share one
+// backing array (two allocations per batch instead of one per point).
 func (g *Grid) Points(idx []int) [][]float64 {
+	k := len(g.Axes)
+	backing := make([]float64, len(idx)*k)
 	pts := make([][]float64, len(idx))
 	for j, i := range idx {
-		pts[j] = g.Point(i)
+		p := backing[j*k : (j+1)*k : (j+1)*k]
+		g.pointInto(p, i)
+		pts[j] = p
 	}
 	return pts
 }
 
-// AllPoints materializes every grid point in flat-index order.
+// AllPoints materializes every grid point in flat-index order, sharing one
+// backing array like Points.
 func (g *Grid) AllPoints() [][]float64 {
-	pts := make([][]float64, g.Size())
+	k := len(g.Axes)
+	n := g.Size()
+	backing := make([]float64, n*k)
+	pts := make([][]float64, n)
 	for i := range pts {
-		pts[i] = g.Point(i)
+		p := backing[i*k : (i+1)*k : (i+1)*k]
+		g.pointInto(p, i)
+		pts[i] = p
 	}
 	return pts
 }

@@ -7,6 +7,7 @@ package pauli
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -236,6 +237,16 @@ func (h *Hamiltonian) DiagonalValues() ([]float64, error) {
 	return out, nil
 }
 
+// DiagonalTable is DiagonalValues under the name the simulator's fused
+// expectation path uses: the precomputed 2^n energy vector that turns a
+// per-term O(terms * 2^n) expectation into a single O(2^n) pass (see
+// qsim.State.ExpectationDiagonal). Entry b accumulates terms in term order,
+// exactly like EvalBitstring, so the two agree bit-for-bit. The table is
+// worth caching — problem.Problem memoizes one per Hamiltonian.
+func (h *Hamiltonian) DiagonalTable() ([]float64, error) {
+	return h.DiagonalValues()
+}
+
 // EvalBitstring evaluates a diagonal Hamiltonian on a single basis state
 // given as a bitmask (bit q = qubit q).
 func (h *Hamiltonian) EvalBitstring(b uint64) (float64, error) {
@@ -280,12 +291,8 @@ func (h *Hamiltonian) String() string {
 	return strings.Join(parts, " ")
 }
 
+// parity reports whether x has odd population count, via the hardware
+// popcount instruction rather than a hand-rolled xor-fold chain.
 func parity(x uint64) bool {
-	x ^= x >> 32
-	x ^= x >> 16
-	x ^= x >> 8
-	x ^= x >> 4
-	x ^= x >> 2
-	x ^= x >> 1
-	return x&1 == 1
+	return bits.OnesCount64(x)&1 == 1
 }

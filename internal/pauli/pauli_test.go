@@ -202,3 +202,32 @@ func TestParity(t *testing.T) {
 		}
 	}
 }
+
+func TestDiagonalTableMatchesEvalBitstring(t *testing.T) {
+	h := NewHamiltonian(5)
+	h.MustAdd(0.5, Identity(5))
+	h.MustAdd(-1.25, ZZ(5, 0, 3))
+	h.MustAdd(2, ZZ(5, 1, 4))
+	h.MustAdd(-0.75, SingleZ(5, 2))
+	table, err := h.DiagonalTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 1<<5 {
+		t.Fatalf("table length %d", len(table))
+	}
+	for b := range table {
+		want, err := h.EvalBitstring(uint64(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if table[b] != want {
+			t.Fatalf("table[%d] = %v, EvalBitstring %v", b, table[b], want)
+		}
+	}
+	hx := NewHamiltonian(2)
+	hx.MustAdd(1, MustString("XI"))
+	if _, err := hx.DiagonalTable(); err == nil {
+		t.Fatal("want error for off-diagonal Hamiltonian")
+	}
+}

@@ -7,6 +7,7 @@ package problem
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/pauli"
@@ -15,15 +16,38 @@ import (
 // Problem couples a cost Hamiltonian with its metadata. Cost convention:
 // lower <H> is better (minimization), so for MaxCut the Hamiltonian is
 // H = sum_e w_e/2 (Z_u Z_v - 1), whose minimum is -MaxCut.
+//
+// Problems are shared by pointer (evaluators hold *Problem) and must not be
+// copied by value: the lazily built diagonal energy table is guarded by a
+// sync.Once.
 type Problem struct {
 	Name        string
 	Hamiltonian *pauli.Hamiltonian
 	// Graph is the underlying graph for cut problems; nil for molecules.
 	Graph *graph.Graph
+
+	// diagOnce guards the lazily computed diagonal energy table shared by
+	// every evaluator on this problem (the O(terms * 2^n) construction is
+	// paid once per problem, then each landscape point is a single fused
+	// pass — see qsim.State.ExpectationDiagonal).
+	diagOnce sync.Once
+	diag     []float64
+	diagErr  error
 }
 
 // N reports the qubit count.
 func (p *Problem) N() int { return p.Hamiltonian.N() }
+
+// DiagonalTable returns the memoized 2^n energy vector of a diagonal
+// Hamiltonian (entry b is <b|H|b>), computing it on first use. Callers must
+// not mutate the returned slice. Off-diagonal Hamiltonians (H2, LiH) return
+// an error; their expectations go through the per-term path instead.
+func (p *Problem) DiagonalTable() ([]float64, error) {
+	p.diagOnce.Do(func() {
+		p.diag, p.diagErr = p.Hamiltonian.DiagonalTable()
+	})
+	return p.diag, p.diagErr
+}
 
 // MaxCut builds the MaxCut minimization problem on g.
 func MaxCut(name string, g *graph.Graph) (*Problem, error) {

@@ -124,3 +124,34 @@ func TestMaxCutValidation(t *testing.T) {
 		t.Error("want error for >30 qubits")
 	}
 }
+
+func TestProblemDiagonalTableCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, err := Random3RegularMaxCut(6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := p.DiagonalTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p.DiagonalTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &t1[0] != &t2[0] {
+		t.Fatal("DiagonalTable should be memoized, got distinct slices")
+	}
+	want, err := p.Hamiltonian.DiagonalValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range want {
+		if t1[b] != want[b] {
+			t.Fatalf("table[%d] = %v, DiagonalValues %v", b, t1[b], want[b])
+		}
+	}
+	if _, err := H2().DiagonalTable(); err == nil {
+		t.Fatal("want error for off-diagonal H2")
+	}
+}

@@ -84,16 +84,24 @@ type Gate struct {
 
 // Angle resolves the gate angle against a parameter vector.
 func (g Gate) Angle(params []float64) (float64, error) {
-	if !g.Kind.parametric() {
-		return 0, nil
-	}
-	if g.Param < 0 {
-		return g.Theta, nil
-	}
-	if g.Param >= len(params) {
+	if g.Kind.parametric() && g.Param >= len(params) {
 		return 0, fmt.Errorf("qsim: gate %s needs parameter %d, only %d bound", g.Kind, g.Param, len(params))
 	}
-	return g.Scale*params[g.Param] + g.Theta, nil
+	return g.resolveAngle(params), nil
+}
+
+// resolveAngle is Angle without the bounds check — the single source of the
+// resolution rule, shared with the post-Validate gate loops (Validate
+// guarantees every bound parameter index is in range, so resolution cannot
+// fail there).
+func (g *Gate) resolveAngle(params []float64) float64 {
+	if !g.Kind.parametric() {
+		return 0
+	}
+	if g.Param < 0 {
+		return g.Theta
+	}
+	return g.Scale*params[g.Param] + g.Theta
 }
 
 // Circuit is an ordered gate list on a fixed register. NumParams is the size

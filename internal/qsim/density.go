@@ -3,8 +3,8 @@ package qsim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
-	"sort"
 
 	"repro/internal/pauli"
 )
@@ -13,10 +13,20 @@ import (
 // 2^n x 2^n complex matrix. It supports exact simulation of Kraus noise
 // channels (depolarizing, amplitude damping, readout error), which backs the
 // "noisy sim" device profiles in the paper reproduction.
+//
+// A DensityMatrix owns up to two scratch matrices of the same 4^n size,
+// allocated lazily and reused across gates and channels, so re-running
+// circuits through a reused matrix (RunDensityInto) allocates nothing in
+// steady state.
 type DensityMatrix struct {
 	n   int
 	dim int
 	rho []complex128
+	// scratch and acc are reusable 4^n work buffers for the permutation /
+	// Pauli-rotation / Kraus-channel kernels. They hold no state between
+	// operations; buffers are swapped with rho rather than copied.
+	scratch []complex128
+	acc     []complex128
 }
 
 // NewDensityMatrix prepares |0...0><0...0| on n qubits. Density-matrix
@@ -34,6 +44,30 @@ func NewDensityMatrix(n int) *DensityMatrix {
 // N reports the qubit count.
 func (d *DensityMatrix) N() int { return d.n }
 
+// Reset returns the state to |0...0><0...0|.
+func (d *DensityMatrix) Reset() {
+	for i := range d.rho {
+		d.rho[i] = 0
+	}
+	d.rho[0] = 1
+}
+
+// getScratch returns the (lazily allocated) primary scratch matrix.
+func (d *DensityMatrix) getScratch() []complex128 {
+	if d.scratch == nil {
+		d.scratch = make([]complex128, len(d.rho))
+	}
+	return d.scratch
+}
+
+// getAcc returns the (lazily allocated) secondary scratch matrix.
+func (d *DensityMatrix) getAcc() []complex128 {
+	if d.acc == nil {
+		d.acc = make([]complex128, len(d.rho))
+	}
+	return d.acc
+}
+
 // Trace returns Tr(rho), which unitary evolution and trace-preserving
 // channels keep at 1.
 func (d *DensityMatrix) Trace() float64 {
@@ -44,7 +78,7 @@ func (d *DensityMatrix) Trace() float64 {
 	return real(t)
 }
 
-// Clone deep-copies the state.
+// Clone deep-copies the state (scratch buffers are not carried over).
 func (d *DensityMatrix) Clone() *DensityMatrix {
 	c := &DensityMatrix{n: d.n, dim: d.dim, rho: make([]complex128, len(d.rho))}
 	copy(c.rho, d.rho)
@@ -95,20 +129,21 @@ func pauliPhase(i uint64, z uint64, iPow complex128) complex128 {
 	return iPow * signC(i&z)
 }
 
+// yCount counts the Y positions of a Pauli string: exactly the qubits with
+// both the X and Z mask bits set.
+func yCount(p pauli.String) int {
+	return bits.OnesCount64(p.XMask() & p.ZMask())
+}
+
 // conjugatePauli computes rho <- P rho P^dagger for a Pauli string.
 // Because P|i> = c(i)|i^x|, the map is an index permutation with phases:
-// rho'_{i^x, j^x} = c(i) conj(c(j)) rho_{i,j}.
+// rho'_{i^x, j^x} = c(i) conj(c(j)) rho_{i,j}. The result is built in the
+// reusable scratch matrix and swapped into place.
 func (d *DensityMatrix) conjugatePauli(p pauli.String) {
 	x := int(p.XMask())
 	z := p.ZMask()
-	nY := 0
-	for q := 0; q < p.N(); q++ {
-		if p.At(q) == pauli.Y {
-			nY++
-		}
-	}
-	iPow := iPower(nY)
-	out := make([]complex128, len(d.rho))
+	iPow := iPower(yCount(p))
+	out := d.getScratch()
 	for i := 0; i < d.dim; i++ {
 		ci := pauliPhase(uint64(i), z, iPow)
 		for j := 0; j < d.dim; j++ {
@@ -116,7 +151,23 @@ func (d *DensityMatrix) conjugatePauli(p pauli.String) {
 			out[(i^x)*d.dim+(j^x)] = ci * complexConj(cj) * d.rho[i*d.dim+j]
 		}
 	}
-	d.rho = out
+	d.rho, d.scratch = out, d.rho
+}
+
+// accumPauli adds w * (P src P^dagger) into acc without touching src — the
+// copy-free kernel the depolarizing channels sum their Pauli orbit with.
+func (d *DensityMatrix) accumPauli(acc, src []complex128, p pauli.String, w complex128) {
+	x := int(p.XMask())
+	z := p.ZMask()
+	iPow := iPower(yCount(p))
+	for i := 0; i < d.dim; i++ {
+		ci := pauliPhase(uint64(i), z, iPow)
+		for j := 0; j < d.dim; j++ {
+			cj := pauliPhase(uint64(j), z, iPow)
+			t := ci * complexConj(cj) * src[i*d.dim+j]
+			acc[(i^x)*d.dim+(j^x)] += w * t
+		}
+	}
 }
 
 // applyDiagonal conjugates rho by a diagonal unitary with entries phase(i).
@@ -130,16 +181,16 @@ func (d *DensityMatrix) applyDiagonal(phase func(i int) complex128) {
 }
 
 // applyPermutation conjugates rho by a basis permutation perm (unitary with
-// one 1 per row).
+// one 1 per row), building the result in scratch and swapping.
 func (d *DensityMatrix) applyPermutation(perm func(i int) int) {
-	out := make([]complex128, len(d.rho))
+	out := d.getScratch()
 	for i := 0; i < d.dim; i++ {
 		pi := perm(i)
 		for j := 0; j < d.dim; j++ {
 			out[pi*d.dim+perm(j)] = d.rho[i*d.dim+j]
 		}
 	}
-	d.rho = out
+	d.rho, d.scratch = out, d.rho
 }
 
 // ApplyGate applies one circuit gate with resolved parameters.
@@ -148,6 +199,12 @@ func (d *DensityMatrix) ApplyGate(g Gate, params []float64) error {
 	if err != nil {
 		return err
 	}
+	d.applyGateKind(&g, theta)
+	return nil
+}
+
+// applyGateKind dispatches one gate with its angle already resolved.
+func (d *DensityMatrix) applyGateKind(g *Gate, theta float64) {
 	switch g.Kind {
 	case GateCNOT:
 		cb := 1 << uint(g.Qubits[0])
@@ -194,7 +251,6 @@ func (d *DensityMatrix) ApplyGate(g Gate, params []float64) error {
 	default:
 		d.applyUnitary1Q(g.Qubits[0], gateMatrix(g.Kind, theta))
 	}
-	return nil
 }
 
 // applyPauliRotDM conjugates rho by exp(-i theta/2 P) using
@@ -204,15 +260,12 @@ func (d *DensityMatrix) applyPauliRotDM(p pauli.String, theta float64) {
 	// P rho and rho P share structure with conjugatePauli; build them.
 	x := int(p.XMask())
 	z := p.ZMask()
-	nY := 0
-	for q := 0; q < p.N(); q++ {
-		if p.At(q) == pauli.Y {
-			nY++
-		}
-	}
-	iPow := iPower(nY)
+	iPow := iPower(yCount(p))
 	dim := d.dim
-	out := make([]complex128, len(d.rho))
+	out := d.getScratch()
+	for i := range out {
+		out[i] = 0
+	}
 	cc := complex(c*c, 0)
 	ss := complex(s*s, 0)
 	isc := complex(0, -s*c)
@@ -233,7 +286,7 @@ func (d *DensityMatrix) applyPauliRotDM(p pauli.String, theta float64) {
 			out[i*dim+(j^x)] += (-isc) * complexConj(cj) * rij
 		}
 	}
-	d.rho = out
+	d.rho, d.scratch = out, d.rho
 }
 
 // RunDensity executes a circuit on a density matrix, interleaving the given
@@ -243,21 +296,46 @@ func RunDensity(c *Circuit, params []float64, afterGate func(d *DensityMatrix, g
 		return nil, err
 	}
 	d := NewDensityMatrix(c.N())
-	for _, g := range c.Gates() {
-		if err := d.ApplyGate(g, params); err != nil {
-			return nil, err
-		}
-		if afterGate != nil {
-			if err := afterGate(d, g); err != nil {
-				return nil, err
-			}
-		}
+	if err := d.runGates(c, params, afterGate); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
 
+// RunDensityInto executes a circuit from |0...0><0...0| into dst, reusing
+// its rho and scratch buffers — the zero-allocation path the noisy batch
+// evaluator re-runs circuits through.
+func RunDensityInto(dst *DensityMatrix, c *Circuit, params []float64, afterGate func(d *DensityMatrix, g Gate) error) error {
+	if dst.n != c.N() {
+		return fmt.Errorf("qsim: %d-qubit circuit into %d-qubit density matrix", c.N(), dst.n)
+	}
+	if err := c.Validate(params); err != nil {
+		return err
+	}
+	dst.Reset()
+	return dst.runGates(c, params, afterGate)
+}
+
+// runGates applies every gate of a validated circuit, skipping the per-gate
+// angle error path (Validate already proved it cannot fail). The afterGate
+// hook can still fail, so the error return remains.
+func (d *DensityMatrix) runGates(c *Circuit, params []float64, afterGate func(d *DensityMatrix, g Gate) error) error {
+	for i := range c.gates {
+		g := &c.gates[i]
+		d.applyGateKind(g, g.resolveAngle(params))
+		if afterGate != nil {
+			if err := afterGate(d, *g); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Depolarize1Q applies the single-qubit depolarizing channel with
 // probability p on qubit q: rho <- (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z).
+// The Pauli orbit is accumulated directly from rho into a reused scratch
+// matrix — no per-call copies or allocations.
 func (d *DensityMatrix) Depolarize1Q(q int, p float64) error {
 	if p < 0 || p > 1 {
 		return fmt.Errorf("qsim: depolarizing probability %g out of [0,1]", p)
@@ -265,20 +343,15 @@ func (d *DensityMatrix) Depolarize1Q(q int, p float64) error {
 	if p == 0 {
 		return nil
 	}
-	orig := append([]complex128(nil), d.rho...)
-	acc := make([]complex128, len(d.rho))
+	acc := d.getAcc()
 	for i := range acc {
-		acc[i] = complex(1-p, 0) * orig[i]
+		acc[i] = complex(1-p, 0) * d.rho[i]
 	}
+	w := complex(p/3, 0)
 	for _, op := range []pauli.Op{pauli.X, pauli.Y, pauli.Z} {
-		copy(d.rho, orig)
-		d.conjugatePauli(singleOp(d.n, q, op))
-		w := complex(p/3, 0)
-		for i := range acc {
-			acc[i] += w * d.rho[i]
-		}
+		d.accumPauli(acc, d.rho, singleOp(d.n, q, op), w)
 	}
-	d.rho = acc
+	d.rho, d.acc = acc, d.rho
 	return nil
 }
 
@@ -291,10 +364,9 @@ func (d *DensityMatrix) Depolarize2Q(a, b int, p float64) error {
 	if p == 0 {
 		return nil
 	}
-	orig := append([]complex128(nil), d.rho...)
-	acc := make([]complex128, len(d.rho))
+	acc := d.getAcc()
 	for i := range acc {
-		acc[i] = complex(1-p, 0) * orig[i]
+		acc[i] = complex(1-p, 0) * d.rho[i]
 	}
 	ops := []pauli.Op{pauli.I, pauli.X, pauli.Y, pauli.Z}
 	w := complex(p/15, 0)
@@ -303,14 +375,10 @@ func (d *DensityMatrix) Depolarize2Q(a, b int, p float64) error {
 			if oa == pauli.I && ob == pauli.I {
 				continue
 			}
-			copy(d.rho, orig)
-			d.conjugatePauli(doubleOp(d.n, a, b, oa, ob))
-			for i := range acc {
-				acc[i] += w * d.rho[i]
-			}
+			d.accumPauli(acc, d.rho, doubleOp(d.n, a, b, oa, ob), w)
 		}
 	}
-	d.rho = acc
+	d.rho, d.acc = acc, d.rho
 	return nil
 }
 
@@ -326,18 +394,19 @@ func (d *DensityMatrix) AmplitudeDamp(q int, gamma float64) error {
 	// Kraus: K0 = [[1,0],[0,sqrt(1-g)]], K1 = [[0,sqrt(g)],[0,0]].
 	k0 := [2][2]complex128{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}}
 	k1 := [2][2]complex128{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}}
-	orig := append([]complex128(nil), d.rho...)
-	copy(d.rho, orig)
+	orig := d.getScratch()
+	copy(orig, d.rho)
 	d.leftMul1Q(q, k0)
 	d.rightMul1QDagger(q, k0)
-	acc := append([]complex128(nil), d.rho...)
+	acc := d.getAcc()
+	copy(acc, d.rho) // K0 rho K0^dagger
 	copy(d.rho, orig)
 	d.leftMul1Q(q, k1)
 	d.rightMul1QDagger(q, k1)
 	for i := range acc {
 		acc[i] += d.rho[i]
 	}
-	d.rho = acc
+	d.rho, d.acc = acc, d.rho
 	return nil
 }
 
@@ -367,13 +436,7 @@ func (d *DensityMatrix) ExpectationPauli(p pauli.String) (float64, error) {
 	}
 	x := int(p.XMask())
 	z := p.ZMask()
-	nY := 0
-	for q := 0; q < p.N(); q++ {
-		if p.At(q) == pauli.Y {
-			nY++
-		}
-	}
-	iPow := iPower(nY)
+	iPow := iPower(yCount(p))
 	var acc complex128
 	for i := 0; i < d.dim; i++ {
 		// Tr(rho P) = Tr(P rho) = sum_i c(i) rho_{i, i^x}.
@@ -396,6 +459,20 @@ func (d *DensityMatrix) Expectation(h *pauli.Hamiltonian) (float64, error) {
 		total += t.Coeff * e
 	}
 	return total, nil
+}
+
+// ExpectationDiagonal computes Tr(rho H) for a diagonal Hamiltonian from its
+// precomputed energy table (table[b] = <b|H|b>): one fused pass over the
+// diagonal of rho, independent of the term count.
+func (d *DensityMatrix) ExpectationDiagonal(table []float64) (float64, error) {
+	if len(table) != d.dim {
+		return 0, fmt.Errorf("qsim: energy table length %d for %d-qubit density matrix", len(table), d.n)
+	}
+	var acc float64
+	for i := 0; i < d.dim; i++ {
+		acc += real(d.rho[i*d.dim+i]) * table[i]
+	}
+	return acc, nil
 }
 
 // Probabilities returns the computational-basis measurement distribution,
@@ -446,24 +523,9 @@ func ApplyReadoutError(probs []float64, n int, p01, p10 float64) ([]float64, err
 }
 
 // SampleDistribution draws shots samples from an arbitrary distribution.
+// Repeated draws from the same distribution should build a Sampler once.
 func SampleDistribution(probs []float64, shots int, rng *rand.Rand) map[uint64]int {
-	cum := make([]float64, len(probs))
-	var acc float64
-	for i, p := range probs {
-		acc += p
-		cum[i] = acc
-	}
-	total := cum[len(cum)-1]
-	counts := make(map[uint64]int)
-	for i := 0; i < shots; i++ {
-		r := rng.Float64() * total
-		idx := sort.SearchFloat64s(cum, r)
-		if idx >= len(cum) {
-			idx = len(cum) - 1
-		}
-		counts[uint64(idx)]++
-	}
-	return counts
+	return NewSampler(probs).Sample(shots, rng)
 }
 
 // ExpectationFromDistribution evaluates a diagonal Hamiltonian against an
@@ -473,12 +535,19 @@ func ExpectationFromDistribution(h *pauli.Hamiltonian, probs []float64) (float64
 	if err != nil {
 		return 0, err
 	}
-	if len(vals) != len(probs) {
-		return 0, fmt.Errorf("qsim: Hamiltonian dimension %d vs distribution %d", len(vals), len(probs))
+	return ExpectationFromDistributionTable(vals, probs)
+}
+
+// ExpectationFromDistributionTable is ExpectationFromDistribution with the
+// Hamiltonian's energy table precomputed, so repeated evaluations skip the
+// O(terms * 2^n) table construction.
+func ExpectationFromDistributionTable(table []float64, probs []float64) (float64, error) {
+	if len(table) != len(probs) {
+		return 0, fmt.Errorf("qsim: Hamiltonian dimension %d vs distribution %d", len(table), len(probs))
 	}
 	var e float64
 	for i, p := range probs {
-		e += p * vals[i]
+		e += p * table[i]
 	}
 	return e, nil
 }

@@ -1,0 +1,442 @@
+package qsim
+
+// kernels_test.go pins the rebuilt strided gate kernels to the seed
+// implementations they replaced: every kernel is compared amplitude-by-
+// amplitude against a literal copy of the seed's branchy full-scan loops,
+// across gate kinds, qubit counts, and worker counts. Elementwise kernels
+// must match bit-for-bit (they perform the same multiplies on the same
+// elements, only enumerated differently); expectation reductions, whose
+// summation order legitimately changed, are held to 1e-12.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+// --- seed reference implementations (verbatim semantics) ---
+
+func refParity(x uint64) bool {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x&1 == 1
+}
+
+func refSignC(masked uint64) complex128 {
+	if refParity(masked) {
+		return -1
+	}
+	return 1
+}
+
+func refApply1Q(amp []complex128, q int, m [2][2]complex128) {
+	bit := 1 << uint(q)
+	dim := len(amp)
+	for base := 0; base < dim; base += bit << 1 {
+		for i := base; i < base+bit; i++ {
+			a0 := amp[i]
+			a1 := amp[i|bit]
+			amp[i] = m[0][0]*a0 + m[0][1]*a1
+			amp[i|bit] = m[1][0]*a0 + m[1][1]*a1
+		}
+	}
+}
+
+func refApplyCNOT(amp []complex128, ctl, tgt int) {
+	cb := 1 << uint(ctl)
+	tb := 1 << uint(tgt)
+	for i := range amp {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			amp[i], amp[j] = amp[j], amp[i]
+		}
+	}
+}
+
+func refApplyCZ(amp []complex128, a, b int) {
+	ab := 1 << uint(a)
+	bb := 1 << uint(b)
+	for i := range amp {
+		if i&ab != 0 && i&bb != 0 {
+			amp[i] = -amp[i]
+		}
+	}
+}
+
+func refApplySWAP(amp []complex128, a, b int) {
+	ab := 1 << uint(a)
+	bb := 1 << uint(b)
+	for i := range amp {
+		if i&ab != 0 && i&bb == 0 {
+			j := i&^ab | bb
+			amp[i], amp[j] = amp[j], amp[i]
+		}
+	}
+}
+
+func refApplyRZZ(amp []complex128, a, b int, theta float64) {
+	ab := 1 << uint(a)
+	bb := 1 << uint(b)
+	pPlus := complex(math.Cos(theta/2), -math.Sin(theta/2))
+	pMinus := complex(math.Cos(theta/2), math.Sin(theta/2))
+	for i := range amp {
+		even := (i&ab != 0) == (i&bb != 0)
+		if even {
+			amp[i] *= pPlus
+		} else {
+			amp[i] *= pMinus
+		}
+	}
+}
+
+func refApplyPauliRot(amp []complex128, p pauli.String, theta float64) {
+	x := p.XMask()
+	z := p.ZMask()
+	nY := 0
+	for q := 0; q < p.N(); q++ {
+		if p.At(q) == pauli.Y {
+			nY++
+		}
+	}
+	cosT := complex(math.Cos(theta/2), 0)
+	minusISin := complex(0, -math.Sin(theta/2))
+	iPow := iPower(nY)
+	if x == 0 {
+		for b := range amp {
+			sign := complex(1, 0)
+			if refParity(uint64(b) & z) {
+				sign = -1
+			}
+			amp[b] *= cosT + minusISin*iPow*sign
+		}
+		return
+	}
+	xi := int(x)
+	for b := range amp {
+		b2 := b ^ xi
+		if b > b2 {
+			continue
+		}
+		cb := iPow * refSignC(uint64(b)&z)
+		cb2 := iPow * refSignC(uint64(b2)&z)
+		a, a2 := amp[b], amp[b2]
+		amp[b] = cosT*a + minusISin*cb2*a2
+		amp[b2] = cosT*a2 + minusISin*cb*a
+	}
+}
+
+// refApplyGate dispatches one resolved gate through the seed kernels.
+func refApplyGate(amp []complex128, g Gate, params []float64) {
+	theta, err := g.Angle(params)
+	if err != nil {
+		panic(err)
+	}
+	switch g.Kind {
+	case GateCNOT:
+		refApplyCNOT(amp, g.Qubits[0], g.Qubits[1])
+	case GateCZ:
+		refApplyCZ(amp, g.Qubits[0], g.Qubits[1])
+	case GateSWAP:
+		refApplySWAP(amp, g.Qubits[0], g.Qubits[1])
+	case GateRZZ:
+		refApplyRZZ(amp, g.Qubits[0], g.Qubits[1], theta)
+	case GatePauliRot:
+		refApplyPauliRot(amp, g.Pauli, theta)
+	default:
+		refApply1Q(amp, g.Qubits[0], gateMatrix(g.Kind, theta))
+	}
+}
+
+// refExpectationPauli is the seed full-scan expectation (every index
+// visited, each pair's cross terms computed twice).
+func refExpectationPauli(amp []complex128, p pauli.String) float64 {
+	x := p.XMask()
+	z := p.ZMask()
+	nY := 0
+	for q := 0; q < p.N(); q++ {
+		if p.At(q) == pauli.Y {
+			nY++
+		}
+	}
+	iPow := iPower(nY)
+	var acc complex128
+	xi := int(x)
+	for b := range amp {
+		cb := iPow * refSignC(uint64(b)&z)
+		acc += complexConj(amp[b^xi]) * cb * amp[b]
+	}
+	return real(acc)
+}
+
+// allKindsCircuit builds a random fixed-angle circuit that exercises every
+// gate kind, including the diagonal 1Q fast paths and SWAP.
+func allKindsCircuit(n, depth int, rng *rand.Rand) *Circuit {
+	c := NewCircuit(n)
+	pick2 := func() (int, int) {
+		a := rng.Intn(n)
+		b := (a + 1 + rng.Intn(n-1)) % n
+		return a, b
+	}
+	for d := 0; d < depth; d++ {
+		switch k := rng.Intn(15); k {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.X(rng.Intn(n))
+		case 2:
+			c.Y(rng.Intn(n))
+		case 3:
+			c.Z(rng.Intn(n))
+		case 4:
+			c.S(rng.Intn(n))
+		case 5:
+			c.Sdg(rng.Intn(n))
+		case 6:
+			c.T(rng.Intn(n))
+		case 7:
+			c.RX(rng.Intn(n), rng.Float64()*4*math.Pi)
+		case 8:
+			c.RY(rng.Intn(n), rng.Float64()*4*math.Pi)
+		case 9:
+			c.RZ(rng.Intn(n), rng.Float64()*4*math.Pi)
+		case 10, 11, 12, 13:
+			if n == 1 {
+				c.H(0)
+				continue
+			}
+			a, b := pick2()
+			switch k {
+			case 10:
+				c.CNOT(a, b)
+			case 11:
+				c.CZ(a, b)
+			case 12:
+				c.SWAP(a, b)
+			default:
+				c.RZZ(a, b, rng.Float64()*4*math.Pi)
+			}
+		default:
+			ops := []byte{'I', 'X', 'Y', 'Z'}
+			b := make([]byte, n)
+			nonI := false
+			for i := range b {
+				b[i] = ops[rng.Intn(4)]
+				if b[i] != 'I' {
+					nonI = true
+				}
+			}
+			if !nonI {
+				b[rng.Intn(n)] = ops[1+rng.Intn(3)]
+			}
+			c.PauliRot(pauli.MustString(string(b)), rng.Float64()*4*math.Pi)
+		}
+	}
+	return c
+}
+
+// TestKernelsBitIdenticalToSeed drives random circuits gate-by-gate through
+// the strided kernels and the seed reference loops, requiring exact
+// amplitude equality after every gate, for several qubit counts and worker
+// settings.
+func TestKernelsBitIdenticalToSeed(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 10} {
+		for _, workers := range []int{1, 3} {
+			rng := rand.New(rand.NewSource(int64(100*n + workers)))
+			c := allKindsCircuit(n, 60, rng)
+			s := NewState(n).SetWorkers(workers)
+			ref := make([]complex128, 1<<uint(n))
+			ref[0] = 1
+			for gi, g := range c.Gates() {
+				if err := s.ApplyGate(g, nil); err != nil {
+					t.Fatal(err)
+				}
+				refApplyGate(ref, g, nil)
+				for i := range ref {
+					if s.amp[i] != ref[i] {
+						t.Fatalf("n=%d workers=%d gate %d (%s): amp[%d] = %v, seed %v",
+							n, workers, gi, g.Kind, i, s.amp[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelShardingBitIdentical runs a 15-qubit circuit — large enough
+// that every kernel actually shards — under several worker counts and
+// requires exact equality with the serial result.
+func TestKernelShardingBitIdentical(t *testing.T) {
+	const n = 15
+	rng := rand.New(rand.NewSource(99))
+	c := allKindsCircuit(n, 25, rng)
+	serial, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		s := NewState(n).SetWorkers(workers)
+		if err := RunInto(s, c, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.amp {
+			if s.amp[i] != serial.amp[i] {
+				t.Fatalf("workers=%d: amp[%d] = %v, serial %v", workers, i, s.amp[i], serial.amp[i])
+			}
+		}
+	}
+}
+
+// TestRunIntoReuse re-runs different circuits through one reused state and
+// requires exact equality with fresh runs.
+func TestRunIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewState(5)
+	for trial := 0; trial < 10; trial++ {
+		c := allKindsCircuit(5, 40, rng)
+		if err := RunInto(s, c, nil); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Run(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fresh.amp {
+			if s.amp[i] != fresh.amp[i] {
+				t.Fatalf("trial %d: amp[%d] = %v, fresh %v", trial, i, s.amp[i], fresh.amp[i])
+			}
+		}
+	}
+	if err := RunInto(s, allKindsCircuit(3, 5, rng), nil); err == nil {
+		t.Fatal("want dimension mismatch error")
+	}
+}
+
+// TestExpectationPauliMatchesSeed compares the pair-once expectation against
+// the seed full scan. Diagonal strings keep the seed's exact summation
+// (bit-identical); off-diagonal strings halve the visits, which reorders the
+// floating-point sum, so they are held to 1e-12.
+func TestExpectationPauliMatchesSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 2, 4, 6} {
+		s, err := Run(allKindsCircuit(n, 50, rng), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := []byte{'I', 'X', 'Y', 'Z'}
+		for trial := 0; trial < 50; trial++ {
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = ops[rng.Intn(4)]
+			}
+			p := pauli.MustString(string(b))
+			got, err := s.ExpectationPauli(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refExpectationPauli(s.amp, p)
+			if p.XMask() == 0 {
+				if got != want {
+					t.Fatalf("n=%d %s: diagonal expectation %v, seed %v", n, p, got, want)
+				}
+				continue
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d %s: expectation %v, seed %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestExpectationDiagonalMatchesPerTerm checks the fused table pass against
+// the per-term path and pins the table itself to EvalBitstring bit-for-bit.
+func TestExpectationDiagonalMatchesPerTerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 6
+	s, err := Run(allKindsCircuit(n, 60, rng), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pauli.NewHamiltonian(n)
+	h.MustAdd(0.75, pauli.Identity(n))
+	for trial := 0; trial < 12; trial++ {
+		a := rng.Intn(n)
+		b := (a + 1 + rng.Intn(n-1)) % n
+		h.MustAdd(rng.NormFloat64(), pauli.ZZ(n, a, b))
+		h.MustAdd(rng.NormFloat64(), pauli.SingleZ(n, rng.Intn(n)))
+	}
+	table, err := h.DiagonalTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range table {
+		want, err := h.EvalBitstring(uint64(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if table[b] != want {
+			t.Fatalf("table[%d] = %v, EvalBitstring %v", b, table[b], want)
+		}
+	}
+	fused, err := s.ExpectationDiagonal(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTerm, err := s.Expectation(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fused-perTerm) > 1e-10*(1+math.Abs(perTerm)) {
+		t.Fatalf("fused %v vs per-term %v", fused, perTerm)
+	}
+	if _, err := s.ExpectationDiagonal(make([]float64, 4)); err == nil {
+		t.Fatal("want table length error")
+	}
+}
+
+// TestSamplerMatchesSample pins the amortized Sampler to State.Sample: same
+// rng stream, same draws.
+func TestSamplerMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	s, err := Run(allKindsCircuit(4, 30, rng), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shots = 4000
+	direct := s.Sample(shots, rand.New(rand.NewSource(9)))
+	sp := s.Sampler()
+	amortized := sp.Sample(shots, rand.New(rand.NewSource(9)))
+	if len(direct) != len(amortized) {
+		t.Fatalf("outcome sets differ: %d vs %d", len(direct), len(amortized))
+	}
+	for b, c := range direct {
+		if amortized[b] != c {
+			t.Fatalf("counts[%d] = %d vs %d", b, amortized[b], c)
+		}
+	}
+	// Repeated draws reuse the table and stay consistent with the state.
+	h := pauli.NewHamiltonian(4)
+	h.MustAdd(1, pauli.ZZ(4, 0, 2))
+	h.MustAdd(-0.5, pauli.SingleZ(4, 1))
+	exact, _ := s.Expectation(h)
+	est, err := sp.Expectation(h, 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > 0.05 {
+		t.Fatalf("sampler expectation %g, exact %g", est, exact)
+	}
+	if _, err := sp.Expectation(h, 0, rng); err == nil {
+		t.Fatal("want shots error")
+	}
+	hx := pauli.NewHamiltonian(4)
+	hx.MustAdd(1, pauli.MustString("XIII"))
+	if _, err := sp.Expectation(hx, 10, rng); err == nil {
+		t.Fatal("want off-diagonal error")
+	}
+}

@@ -3,10 +3,11 @@ package qsim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
-	"sort"
 
 	"repro/internal/pauli"
+	"repro/internal/shard"
 )
 
 // State is a pure quantum state on n qubits: 2^n complex amplitudes with
@@ -14,6 +15,9 @@ import (
 type State struct {
 	n   int
 	amp []complex128
+	// workers bounds how many goroutines elementwise gate kernels shard
+	// their amplitude range across (<= 1 means serial). See SetWorkers.
+	workers int
 }
 
 // NewState prepares |0...0> on n qubits.
@@ -32,6 +36,39 @@ func (s *State) N() int { return s.n }
 // Amplitudes returns the raw amplitude slice (do not mutate).
 func (s *State) Amplitudes() []complex128 { return s.amp }
 
+// SetWorkers lets elementwise gate kernels shard their amplitude range over
+// up to w goroutines (w <= 1, or states too small to amortize the goroutine
+// overhead, run serially). Sharded execution is bit-identical to serial for
+// every worker count: each amplitude is produced by exactly one shard with
+// exactly the operations the serial loop would perform, and reductions
+// (Norm, expectations, Fidelity) always run serially so floating-point sums
+// keep a fixed order. Returns s for chaining.
+func (s *State) SetWorkers(w int) *State {
+	s.workers = w
+	return s
+}
+
+// minShardIters is the per-kernel iteration count below which amplitude
+// sharding is not worth the goroutine overhead.
+const minShardIters = 1 << 13
+
+// kernelWorkers resolves the shard count for a kernel with iters iterations.
+func (s *State) kernelWorkers(iters int) int {
+	if s.workers <= 1 || iters < minShardIters {
+		return 1
+	}
+	return s.workers
+}
+
+// KernelShardable reports whether gate kernels on an n-qubit state are
+// large enough for SetWorkers sharding to actually engage: the smallest
+// kernel iteration count (2^n/4 for the two-qubit gates) must reach the
+// goroutine-amortization threshold. Batch evaluators use it to decide
+// between point-level and amplitude-level sharding.
+func KernelShardable(n int) bool {
+	return n >= 2 && (1<<uint(n))>>2 >= minShardIters
+}
+
 // Norm returns the 2-norm of the state (1 for any unitary evolution).
 func (s *State) Norm() float64 {
 	var t float64
@@ -43,7 +80,7 @@ func (s *State) Norm() float64 {
 
 // Clone deep-copies the state.
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp)), workers: s.workers}
 	copy(c.amp, s.amp)
 	return c
 }
@@ -56,65 +93,254 @@ func (s *State) Reset() {
 	s.amp[0] = 1
 }
 
-// apply1Q applies the 2x2 matrix m to qubit q.
+// base2 expands a compressed index k in [0, 2^n/4) into the basis index
+// whose bits at the two gate-qubit positions are zero, given the low mask
+// lm = loBit-1 and the compressed-space high mask hm = hiBit/2 - 1. This is
+// how the two-qubit kernels enumerate exactly the 2^n/4 index groups a gate
+// touches, with no per-index mask tests.
+func base2(k, lm, hm int) int {
+	return k&lm | (k&(hm&^lm))<<1 | (k&^hm)<<2
+}
+
+// masks2 returns (lm, hm) for two distinct qubit bits.
+func masks2(a, b int) (lm, hm int) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo - 1, hi>>1 - 1
+}
+
+// The gate kernels below come in pairs: a range method that performs the
+// actual strided loop over a compressed-index interval, and a dispatcher
+// that runs the whole range inline when serial or fans shards out across
+// goroutines when the state is large and SetWorkers allows. Closures are
+// only created on the parallel path, so the serial hot path (the batch
+// evaluators' per-point regime) allocates nothing.
+
+// phase1Q multiplies the |1> half by m11 (Z, S, Sdg, T: m00 = 1).
+func (s *State) phase1Q(klo, khi, bit, lm int, m11 complex128) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		amp[(k&^lm)<<1|k&lm|bit] *= m11
+	}
+}
+
+// diag1Q multiplies both halves by their phases (RZ).
+func (s *State) diag1Q(klo, khi, bit, lm int, m00, m11 complex128) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		i := (k&^lm)<<1 | k&lm
+		amp[i] *= m00
+		amp[i|bit] *= m11
+	}
+}
+
+// dense1Q applies a full 2x2 matrix.
+func (s *State) dense1Q(klo, khi, bit, lm int, m00, m01, m10, m11 complex128) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		i := (k&^lm)<<1 | k&lm
+		j := i | bit
+		a0, a1 := amp[i], amp[j]
+		amp[i] = m00*a0 + m01*a1
+		amp[j] = m10*a0 + m11*a1
+	}
+}
+
+// realDense1Q applies an all-real 2x2 matrix (H, X, RY) with half the
+// multiplies of the generic complex path: exactly the operations the full
+// complex arithmetic performs on the nonzero components, so results match
+// the generic kernel bit-for-bit (up to the sign of exact zeros).
+func (s *State) realDense1Q(klo, khi, bit, lm int, m00, m01, m10, m11 float64) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		i := (k&^lm)<<1 | k&lm
+		j := i | bit
+		a0, a1 := amp[i], amp[j]
+		a0r, a0i := real(a0), imag(a0)
+		a1r, a1i := real(a1), imag(a1)
+		amp[i] = complex(m00*a0r+m01*a1r, m00*a0i+m01*a1i)
+		amp[j] = complex(m10*a0r+m11*a1r, m10*a0i+m11*a1i)
+	}
+}
+
+// mixedDense1Q applies a matrix with real diagonal and purely imaginary
+// off-diagonal entries (RX, Y), again performing exactly the generic
+// path's nonzero-component operations.
+func (s *State) mixedDense1Q(klo, khi, bit, lm int, m00, m01i, m10i, m11 float64) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		i := (k&^lm)<<1 | k&lm
+		j := i | bit
+		a0, a1 := amp[i], amp[j]
+		a0r, a0i := real(a0), imag(a0)
+		a1r, a1i := real(a1), imag(a1)
+		amp[i] = complex(m00*a0r-m01i*a1i, m00*a0i+m01i*a1r)
+		amp[j] = complex(m11*a1r-m10i*a0i, m10i*a0r+m11*a1i)
+	}
+}
+
+// apply1Q applies the 2x2 matrix m to qubit q as a strided two-level loop
+// over compressed indices. Diagonal matrices (RZ, Z, S, Sdg, T) take a pure
+// phase path, and phase gates with m00 = 1 touch only the |1> half.
 func (s *State) apply1Q(q int, m [2][2]complex128) {
 	bit := 1 << uint(q)
-	dim := len(s.amp)
-	for base := 0; base < dim; base += bit << 1 {
-		for i := base; i < base+bit; i++ {
-			a0 := s.amp[i]
-			a1 := s.amp[i|bit]
-			s.amp[i] = m[0][0]*a0 + m[0][1]*a1
-			s.amp[i|bit] = m[1][0]*a0 + m[1][1]*a1
+	lm := bit - 1
+	half := len(s.amp) >> 1
+	w := s.kernelWorkers(half)
+	switch {
+	case m[0][1] == 0 && m[1][0] == 0 && m[0][0] == 1:
+		if w > 1 {
+			shard.ForRange(w, half, func(lo, hi int) { s.phase1Q(lo, hi, bit, lm, m[1][1]) })
+			return
 		}
+		s.phase1Q(0, half, bit, lm, m[1][1])
+	case m[0][1] == 0 && m[1][0] == 0:
+		if w > 1 {
+			shard.ForRange(w, half, func(lo, hi int) { s.diag1Q(lo, hi, bit, lm, m[0][0], m[1][1]) })
+			return
+		}
+		s.diag1Q(0, half, bit, lm, m[0][0], m[1][1])
+	case imag(m[0][0]) == 0 && imag(m[0][1]) == 0 && imag(m[1][0]) == 0 && imag(m[1][1]) == 0:
+		// All-real matrix (H, X, RY).
+		r00, r01, r10, r11 := real(m[0][0]), real(m[0][1]), real(m[1][0]), real(m[1][1])
+		if w > 1 {
+			shard.ForRange(w, half, func(lo, hi int) { s.realDense1Q(lo, hi, bit, lm, r00, r01, r10, r11) })
+			return
+		}
+		s.realDense1Q(0, half, bit, lm, r00, r01, r10, r11)
+	case imag(m[0][0]) == 0 && imag(m[1][1]) == 0 && real(m[0][1]) == 0 && real(m[1][0]) == 0:
+		// Real diagonal with imaginary off-diagonal (RX, Y).
+		r00, i01, i10, r11 := real(m[0][0]), imag(m[0][1]), imag(m[1][0]), real(m[1][1])
+		if w > 1 {
+			shard.ForRange(w, half, func(lo, hi int) { s.mixedDense1Q(lo, hi, bit, lm, r00, i01, i10, r11) })
+			return
+		}
+		s.mixedDense1Q(0, half, bit, lm, r00, i01, i10, r11)
+	default:
+		if w > 1 {
+			shard.ForRange(w, half, func(lo, hi int) {
+				s.dense1Q(lo, hi, bit, lm, m[0][0], m[0][1], m[1][0], m[1][1])
+			})
+			return
+		}
+		s.dense1Q(0, half, bit, lm, m[0][0], m[0][1], m[1][0], m[1][1])
 	}
 }
 
+func (s *State) cnotRange(klo, khi, lm, hm, cb, tb int) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		i := base2(k, lm, hm) | cb
+		j := i | tb
+		amp[i], amp[j] = amp[j], amp[i]
+	}
+}
+
+// applyCNOT swaps the target pair in every |ctl=1> group: a branch-free
+// strided loop over the 2^n/4 groups the gate touches.
 func (s *State) applyCNOT(ctl, tgt int) {
-	cb := 1 << uint(ctl)
-	tb := 1 << uint(tgt)
-	for i := range s.amp {
-		if i&cb != 0 && i&tb == 0 {
-			j := i | tb
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
-		}
+	cb, tb := 1<<uint(ctl), 1<<uint(tgt)
+	lm, hm := masks2(cb, tb)
+	quarter := len(s.amp) >> 2
+	if w := s.kernelWorkers(quarter); w > 1 {
+		shard.ForRange(w, quarter, func(lo, hi int) { s.cnotRange(lo, hi, lm, hm, cb, tb) })
+		return
+	}
+	s.cnotRange(0, quarter, lm, hm, cb, tb)
+}
+
+func (s *State) czRange(klo, khi, lm, hm, mask int) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		i := base2(k, lm, hm) | mask
+		amp[i] = -amp[i]
 	}
 }
 
+// applyCZ negates the |11> amplitude of every group.
 func (s *State) applyCZ(a, b int) {
-	ab := 1 << uint(a)
-	bb := 1 << uint(b)
-	for i := range s.amp {
-		if i&ab != 0 && i&bb != 0 {
-			s.amp[i] = -s.amp[i]
-		}
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	lm, hm := masks2(ab, bb)
+	quarter := len(s.amp) >> 2
+	if w := s.kernelWorkers(quarter); w > 1 {
+		shard.ForRange(w, quarter, func(lo, hi int) { s.czRange(lo, hi, lm, hm, ab|bb) })
+		return
+	}
+	s.czRange(0, quarter, lm, hm, ab|bb)
+}
+
+func (s *State) swapRange(klo, khi, lm, hm, ab, bb int) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		base := base2(k, lm, hm)
+		i, j := base|ab, base|bb
+		amp[i], amp[j] = amp[j], amp[i]
 	}
 }
 
+// applySWAP exchanges the |01> and |10> amplitudes of every group.
 func (s *State) applySWAP(a, b int) {
-	ab := 1 << uint(a)
-	bb := 1 << uint(b)
-	for i := range s.amp {
-		if i&ab != 0 && i&bb == 0 {
-			j := i&^ab | bb
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
-		}
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	lm, hm := masks2(ab, bb)
+	quarter := len(s.amp) >> 2
+	if w := s.kernelWorkers(quarter); w > 1 {
+		shard.ForRange(w, quarter, func(lo, hi int) { s.swapRange(lo, hi, lm, hm, ab, bb) })
+		return
+	}
+	s.swapRange(0, quarter, lm, hm, ab, bb)
+}
+
+func (s *State) rzzRange(klo, khi, lm, hm, ab, bb int, pPlus, pMinus complex128) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		base := base2(k, lm, hm)
+		amp[base] *= pPlus
+		amp[base|ab] *= pMinus
+		amp[base|bb] *= pMinus
+		amp[base|ab|bb] *= pPlus
 	}
 }
 
-// applyRZZ applies exp(-i theta/2 Z_a Z_b), a diagonal phase.
+// applyRZZ applies exp(-i theta/2 Z_a Z_b), a diagonal phase, as four
+// branch-free parity streams per group.
 func (s *State) applyRZZ(a, b int, theta float64) {
-	ab := 1 << uint(a)
-	bb := 1 << uint(b)
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	lm, hm := masks2(ab, bb)
 	pPlus := complex(math.Cos(theta/2), -math.Sin(theta/2)) // parity even
 	pMinus := complex(math.Cos(theta/2), math.Sin(theta/2)) // parity odd
-	for i := range s.amp {
-		even := (i&ab != 0) == (i&bb != 0)
-		if even {
-			s.amp[i] *= pPlus
+	quarter := len(s.amp) >> 2
+	if w := s.kernelWorkers(quarter); w > 1 {
+		shard.ForRange(w, quarter, func(lo, hi int) { s.rzzRange(lo, hi, lm, hm, ab, bb, pPlus, pMinus) })
+		return
+	}
+	s.rzzRange(0, quarter, lm, hm, ab, bb, pPlus, pMinus)
+}
+
+func (s *State) rotDiagRange(lo, hi int, z uint64, phasePlus, phaseMinus complex128) {
+	amp := s.amp
+	for b := lo; b < hi; b++ {
+		if bits.OnesCount64(uint64(b)&z)&1 == 1 {
+			amp[b] *= phaseMinus
 		} else {
-			s.amp[i] *= pMinus
+			amp[b] *= phasePlus
 		}
+	}
+}
+
+func (s *State) rotPairRange(klo, khi, xi, hm int, z uint64, iPow, cosT, minusISin complex128) {
+	amp := s.amp
+	for k := klo; k < khi; k++ {
+		b := (k&^hm)<<1 | k&hm
+		b2 := b ^ xi
+		// c(b) carries the phase of P|b> = c(b)|b^x>.
+		cb := iPow * signC(uint64(b)&z)
+		cb2 := iPow * signC(uint64(b2)&z)
+		a, a2 := amp[b], amp[b2]
+		// (P psi)[b] = c(b^x) psi[b^x]; new = cos*psi - i sin * P psi.
+		amp[b] = cosT*a + minusISin*cb2*a2
+		amp[b2] = cosT*a2 + minusISin*cb*a
 	}
 }
 
@@ -122,44 +348,38 @@ func (s *State) applyRZZ(a, b int, theta float64) {
 func (s *State) applyPauliRot(p pauli.String, theta float64) {
 	x := p.XMask()
 	z := p.ZMask()
-	nY := 0
-	for q := 0; q < p.N(); q++ {
-		if p.At(q) == pauli.Y {
-			nY++
-		}
-	}
 	cosT := complex(math.Cos(theta/2), 0)
 	minusISin := complex(0, -math.Sin(theta/2))
-	iPow := iPower(nY)
+	iPow := iPower(bits.OnesCount64(x & z)) // Y positions have both masks set
 	if x == 0 {
 		// Diagonal: amp[b] *= cos - i sin * (-1)^{parity(b&z)}.
-		for b := range s.amp {
-			sign := complex(1, 0)
-			if parity(uint64(b) & z) {
-				sign = -1
-			}
-			s.amp[b] *= cosT + minusISin*iPow*sign
+		phasePlus := cosT + minusISin*iPow
+		phaseMinus := cosT + minusISin*iPow*complex(-1, 0)
+		n := len(s.amp)
+		if w := s.kernelWorkers(n); w > 1 {
+			shard.ForRange(w, n, func(lo, hi int) { s.rotDiagRange(lo, hi, z, phasePlus, phaseMinus) })
+			return
 		}
+		s.rotDiagRange(0, n, z, phasePlus, phaseMinus)
 		return
 	}
+	// Off-diagonal: every basis index pairs with its x-flip. Enumerating the
+	// half-space where the highest x bit is clear visits each (b, b^x) pair
+	// exactly once, at its smaller index, with no per-index skip test. The
+	// partner index always lives in the other half-space, so shard writes
+	// stay disjoint.
 	xi := int(x)
-	for b := range s.amp {
-		b2 := b ^ xi
-		if b > b2 {
-			continue // each pair is processed once, at its smaller index
-		}
-		// c(b) carries the phase of P|b> = c(b)|b^x>.
-		cb := iPow * signC(uint64(b)&z)
-		cb2 := iPow * signC(uint64(b2)&z)
-		a, a2 := s.amp[b], s.amp[b2]
-		// (P psi)[b] = c(b^x) psi[b^x]; new = cos*psi - i sin * P psi.
-		s.amp[b] = cosT*a + minusISin*cb2*a2
-		s.amp[b2] = cosT*a2 + minusISin*cb*a
+	hm := 1<<(63-bits.LeadingZeros64(x)) - 1
+	half := len(s.amp) >> 1
+	if w := s.kernelWorkers(half); w > 1 {
+		shard.ForRange(w, half, func(lo, hi int) { s.rotPairRange(lo, hi, xi, hm, z, iPow, cosT, minusISin) })
+		return
 	}
+	s.rotPairRange(0, half, xi, hm, z, iPow, cosT, minusISin)
 }
 
 func signC(masked uint64) complex128 {
-	if parity(masked) {
+	if bits.OnesCount64(masked)&1 == 1 {
 		return -1
 	}
 	return 1
@@ -176,16 +396,6 @@ func iPower(k int) complex128 {
 	default:
 		return complex(0, -1)
 	}
-}
-
-func parity(x uint64) bool {
-	x ^= x >> 32
-	x ^= x >> 16
-	x ^= x >> 8
-	x ^= x >> 4
-	x ^= x >> 2
-	x ^= x >> 1
-	return x&1 == 1
 }
 
 // gateMatrix returns the 2x2 matrix of a single-qubit gate kind.
@@ -223,12 +433,8 @@ func gateMatrix(k Kind, theta float64) [2][2]complex128 {
 	}
 }
 
-// ApplyGate applies one gate with resolved parameters.
-func (s *State) ApplyGate(g Gate, params []float64) error {
-	theta, err := g.Angle(params)
-	if err != nil {
-		return err
-	}
+// applyKind dispatches one gate with its angle already resolved.
+func (s *State) applyKind(g *Gate, theta float64) {
 	switch g.Kind {
 	case GateCNOT:
 		s.applyCNOT(g.Qubits[0], g.Qubits[1])
@@ -243,7 +449,26 @@ func (s *State) ApplyGate(g Gate, params []float64) error {
 	default:
 		s.apply1Q(g.Qubits[0], gateMatrix(g.Kind, theta))
 	}
+}
+
+// ApplyGate applies one gate with resolved parameters.
+func (s *State) ApplyGate(g Gate, params []float64) error {
+	theta, err := g.Angle(params)
+	if err != nil {
+		return err
+	}
+	s.applyKind(&g, theta)
 	return nil
+}
+
+// runGates applies every gate of a validated circuit. Validate has already
+// checked parameter arity and finiteness, so angle resolution cannot fail
+// and the per-gate error path is skipped entirely.
+func (s *State) runGates(c *Circuit, params []float64) {
+	for i := range c.gates {
+		g := &c.gates[i]
+		s.applyKind(g, g.resolveAngle(params))
+	}
 }
 
 // Run executes a circuit from |0...0> and returns the final state.
@@ -252,12 +477,24 @@ func Run(c *Circuit, params []float64) (*State, error) {
 		return nil, err
 	}
 	s := NewState(c.N())
-	for _, g := range c.Gates() {
-		if err := s.ApplyGate(g, params); err != nil {
-			return nil, err
-		}
-	}
+	s.runGates(c, params)
 	return s, nil
+}
+
+// RunInto executes a circuit from |0...0> into dst, reusing its amplitude
+// buffer — the zero-allocation path batch evaluators re-run circuits
+// through. dst keeps its worker setting, so large states can shard their
+// gate kernels across goroutines.
+func RunInto(dst *State, c *Circuit, params []float64) error {
+	if dst.n != c.N() {
+		return fmt.Errorf("qsim: %d-qubit circuit into %d-qubit state", c.N(), dst.n)
+	}
+	if err := c.Validate(params); err != nil {
+		return err
+	}
+	dst.Reset()
+	dst.runGates(c, params)
+	return nil
 }
 
 // Probabilities returns |amp|^2 for every basis state.
@@ -269,33 +506,47 @@ func (s *State) Probabilities() []float64 {
 	return p
 }
 
-// ExpectationPauli computes <psi|P|psi> for a single Pauli string.
+// ExpectationPauli computes <psi|P|psi> for a single Pauli string. The
+// off-diagonal case walks each (b, b^x) pair once, accumulating both
+// cross terms, so it does half the index visits of the naive full scan.
 func (s *State) ExpectationPauli(p pauli.String) (float64, error) {
 	if p.N() != s.n {
 		return 0, fmt.Errorf("qsim: %d-qubit observable on %d-qubit state", p.N(), s.n)
 	}
 	x := p.XMask()
 	z := p.ZMask()
-	nY := 0
-	for q := 0; q < p.N(); q++ {
-		if p.At(q) == pauli.Y {
-			nY++
-		}
-	}
-	iPow := iPower(nY)
+	iPow := iPower(bits.OnesCount64(x & z))
 	var acc complex128
+	if x == 0 {
+		// Diagonal string: <psi|P|psi> = sum_b |psi[b]|^2 (+-1).
+		for b := range s.amp {
+			cb := iPow * signC(uint64(b)&z)
+			acc += complexConj(s.amp[b]) * cb * s.amp[b]
+		}
+		return real(acc), nil
+	}
 	xi := int(x)
-	for b := range s.amp {
-		// <psi|P|psi> = sum_b conj(psi[b^x]) c(b) psi[b].
+	hm := 1<<(63-bits.LeadingZeros64(x)) - 1
+	half := len(s.amp) >> 1
+	for k := 0; k < half; k++ {
+		b := (k&^hm)<<1 | k&hm
+		b2 := b ^ xi
+		// <psi|P|psi> = sum_b conj(psi[b^x]) c(b) psi[b]; the pair (b, b^x)
+		// contributes both cross terms, collected in one visit.
 		cb := iPow * signC(uint64(b)&z)
-		acc += complexConj(s.amp[b^xi]) * cb * s.amp[b]
+		cb2 := iPow * signC(uint64(b2)&z)
+		a, a2 := s.amp[b], s.amp[b2]
+		acc += complexConj(a2)*cb*a + complexConj(a)*cb2*a2
 	}
 	return real(acc), nil
 }
 
 func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
 
-// Expectation computes <psi|H|psi> for a Pauli-sum Hamiltonian.
+// Expectation computes <psi|H|psi> for a Pauli-sum Hamiltonian, one term at
+// a time. Diagonal Hamiltonians evaluated repeatedly on re-used states
+// should precompute an energy table and call ExpectationDiagonal instead —
+// one fused pass for the whole Hamiltonian instead of one pass per term.
 func (s *State) Expectation(h *pauli.Hamiltonian) (float64, error) {
 	if h.N() != s.n {
 		return 0, fmt.Errorf("qsim: %d-qubit Hamiltonian on %d-qubit state", h.N(), s.n)
@@ -311,28 +562,27 @@ func (s *State) Expectation(h *pauli.Hamiltonian) (float64, error) {
 	return total, nil
 }
 
-// Sample draws shots basis-state measurements and returns the observed
-// bitstring counts.
-func (s *State) Sample(shots int, rng *rand.Rand) map[uint64]int {
-	probs := s.Probabilities()
-	cum := make([]float64, len(probs))
+// ExpectationDiagonal computes <psi|H|psi> for a diagonal Hamiltonian from
+// its precomputed energy table (table[b] = <b|H|b>, see
+// pauli.Hamiltonian.DiagonalTable): a single fused |amp|^2 * E pass,
+// independent of the term count. The sum runs serially in ascending index
+// order, so the value is reproducible for every worker setting.
+func (s *State) ExpectationDiagonal(table []float64) (float64, error) {
+	if len(table) != len(s.amp) {
+		return 0, fmt.Errorf("qsim: energy table length %d for %d-qubit state", len(table), s.n)
+	}
 	var acc float64
-	for i, p := range probs {
-		acc += p
-		cum[i] = acc
+	for b, a := range s.amp {
+		acc += (real(a)*real(a) + imag(a)*imag(a)) * table[b]
 	}
-	// Normalize against accumulated float error.
-	total := cum[len(cum)-1]
-	counts := make(map[uint64]int)
-	for i := 0; i < shots; i++ {
-		r := rng.Float64() * total
-		idx := sort.SearchFloat64s(cum, r)
-		if idx >= len(cum) {
-			idx = len(cum) - 1
-		}
-		counts[uint64(idx)]++
-	}
-	return counts
+	return acc, nil
+}
+
+// Sample draws shots basis-state measurements and returns the observed
+// bitstring counts. Repeated draws from the same state should build a
+// Sampler once instead — Sample rebuilds the cumulative table every call.
+func (s *State) Sample(shots int, rng *rand.Rand) map[uint64]int {
+	return s.Sampler().Sample(shots, rng)
 }
 
 // SampledExpectation estimates <H> for a diagonal Hamiltonian from a finite

@@ -1,0 +1,41 @@
+// Package shard provides the one deterministic range-sharding primitive
+// shared by the execution engine (exec.ForRange), the simulators' gate
+// kernels (qsim), and the backend batch paths. It sits at the bottom of the
+// dependency graph — importing only sync — so every layer splits work with
+// identical boundaries: a future change to the split or the scheduling is a
+// change for all of them at once.
+package shard
+
+import "sync"
+
+// ForRange splits the index range [0, n) into at most workers contiguous
+// shards and invokes fn(lo, hi) once per shard, concurrently when more than
+// one shard results. Shard boundaries are the fixed i*n/w split, so a given
+// (workers, n) pair always yields the same shards, and fn must only write
+// state that is disjoint across shards (e.g. dst[lo:hi]), making the
+// combined result independent of scheduling order.
+//
+// workers <= 1, n <= 1, or a single resulting shard runs fn inline on the
+// calling goroutine with no synchronization.
+func ForRange(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -215,12 +215,41 @@ func UCCSDLiHAnsatz() (*Ansatz, error) { return ansatz.UCCSDLiH() }
 
 // Evaluators (simulated QPUs).
 
-// NewStateVector builds the exact ideal evaluator.
+// NewStateVector builds the exact ideal evaluator. It runs on the
+// zero-allocation simulator engine: circuits re-run into pooled scratch
+// states, diagonal Hamiltonians (MaxCut, SK) evaluate against the problem's
+// cached energy table in one fused pass, and batch submissions reuse
+// buffers across every point.
 func NewStateVector(p *Problem, a *Ansatz) (Evaluator, error) { return backend.NewStateVector(p, a) }
 
-// NewDensity builds the exact noisy evaluator (<= 13 qubits).
+// NewStateVectorWorkers is NewStateVector with a worker budget for direct
+// batch submissions (0 = GOMAXPROCS): large batches shard deterministically
+// across points, small batches of large states shard each gate kernel over
+// amplitude ranges — bit-identical to a serial run either way. Evaluators
+// driven through an Engine should use NewStateVector and let the engine's
+// Workers option do the fan-out instead.
+func NewStateVectorWorkers(p *Problem, a *Ansatz, workers int) (Evaluator, error) {
+	sv, err := backend.NewStateVector(p, a)
+	if err != nil {
+		return nil, err
+	}
+	return sv.SetWorkers(workers), nil
+}
+
+// NewDensity builds the exact noisy evaluator (<= 13 qubits), with the same
+// buffer-reuse treatment as NewStateVector applied to its 4^n matrices.
 func NewDensity(p *Problem, a *Ansatz, prof NoiseProfile) (Evaluator, error) {
 	return backend.NewDensity(p, a, prof)
+}
+
+// NewDensityWorkers is NewDensity with a worker budget for direct batch
+// submissions (0 = GOMAXPROCS); see NewStateVectorWorkers.
+func NewDensityWorkers(p *Problem, a *Ansatz, prof NoiseProfile, workers int) (Evaluator, error) {
+	dm, err := backend.NewDensity(p, a, prof)
+	if err != nil {
+		return nil, err
+	}
+	return dm.SetWorkers(workers), nil
 }
 
 // NewAnalyticQAOA builds the closed-form depth-1 QAOA evaluator.
