@@ -29,8 +29,11 @@ func render(l *landscape.Landscape, maxRows, maxCols int) string {
 	if err != nil {
 		return err.Error()
 	}
-	minV, _ := l.Min()
+	minV, minIdx := l.Min()
 	maxV, _ := l.Max()
+	if minIdx < 0 {
+		return "landscape has no finite values"
+	}
 	span := maxV - minV
 	if span == 0 {
 		span = 1

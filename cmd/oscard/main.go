@@ -1,0 +1,91 @@
+// Command oscard is the OSCAR reconstruction daemon: a long-running HTTP
+// server that accepts reconstruction jobs as JSON, runs them through a
+// shared execution engine with a bounded worker pool, and memoizes circuit
+// executions per device configuration across requests. On shutdown
+// (SIGINT/SIGTERM) it drains in-flight jobs and spills its caches to
+// -cache-file, from which the next start warm-starts.
+//
+// Usage:
+//
+//	oscard -addr :8080 -jobs 8 -cache-file /var/lib/oscard/cache.gob
+//
+// See the README's "Running as a service" section for the job JSON schema
+// and examples/service-client for a submit-and-poll client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		jobs       = flag.Int("jobs", 8, "max concurrent reconstruction jobs")
+		jobWorkers = flag.Int("job-workers", 0, "engine+solver workers per job (0 = GOMAXPROCS)")
+		maxGrid    = flag.Int("max-grid", 1<<20, "max grid points per job")
+		maxQubits  = flag.Int("max-qubits", 20, "max qubits for simulator backends")
+		quantum    = flag.Float64("quantum", 0, "cache parameter quantization (0 = default)")
+		cacheFile  = flag.String("cache-file", "", "spill caches here on shutdown and warm-start from it")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		MaxConcurrent: *jobs,
+		JobWorkers:    *jobWorkers,
+		MaxGridPoints: *maxGrid,
+		MaxQubits:     *maxQubits,
+		Quantum:       *quantum,
+	})
+	if *cacheFile != "" {
+		if err := srv.LoadCacheFile(*cacheFile); err != nil {
+			log.Printf("oscard: cache warm-start failed (continuing cold): %v", err)
+		} else if n := srv.CacheEntries(); n > 0 {
+			log.Printf("oscard: warm-started %d cached executions from %s", n, *cacheFile)
+		}
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("oscard: listening on %s (max %d concurrent jobs)", *addr, *jobs)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("oscard: %v", err)
+	case got := <-sig:
+		log.Printf("oscard: %v, shutting down", got)
+	}
+
+	// Stop accepting connections, let in-flight requests and jobs drain,
+	// then cancel stragglers.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("oscard: http shutdown: %v", err)
+	}
+	srv.Drain(*drain)
+
+	if *cacheFile != "" {
+		if err := srv.SaveCacheFile(*cacheFile); err != nil {
+			log.Printf("oscard: cache spill failed: %v", err)
+		} else {
+			log.Printf("oscard: spilled %d cached executions to %s", srv.CacheEntries(), *cacheFile)
+		}
+	}
+	log.Print("oscard: bye")
+}

@@ -66,8 +66,11 @@ func main() {
 
 	// 6. The bird's-eye view: where is the optimum?
 	minV, minIdx := recon.Min()
-	pt := grid.Point(minIdx)
 	trueMin, trueIdx := truth.Min()
+	if minIdx < 0 || trueIdx < 0 {
+		log.Fatal("landscape has no finite values")
+	}
+	pt := grid.Point(minIdx)
 	truePt := grid.Point(trueIdx)
 	fmt.Printf("reconstructed minimum: %.4f at (beta=%.3f, gamma=%.3f)\n", minV, pt[0], pt[1])
 	fmt.Printf("true minimum:          %.4f at (beta=%.3f, gamma=%.3f)\n", trueMin, truePt[0], truePt[1])

@@ -55,6 +55,9 @@ func main() {
 
 	// Initial point: the reconstruction's minimum.
 	minV, minIdx := recon.Min()
+	if minIdx < 0 {
+		log.Fatal("reconstruction has no finite values")
+	}
 	pt := grid.Point(minIdx)
 	fmt.Printf("reconstructed minimum %.6f Ha at (s1=%.3f, d=%.3f)\n", minV, pt[0], pt[1])
 

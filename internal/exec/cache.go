@@ -2,6 +2,9 @@ package exec
 
 import (
 	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -47,14 +50,30 @@ func NewCache(quantum float64) *Cache {
 	return &Cache{quantum: quantum, m: make(map[string]float64)}
 }
 
-// key encodes the quantized coordinates of params.
-func (c *Cache) key(params []float64) string {
+// maxQuantized bounds the quantized coordinate magnitude the key encoding
+// accepts. int64 covers ±9.22e18, but float64-to-int64 conversion of values
+// at or beyond the boundary is unspecified in Go, so the cache stops one
+// power of two short — any real parameter grid sits many orders of magnitude
+// inside it.
+const maxQuantized = 1 << 62
+
+// key encodes the quantized coordinates of params. ok is false when any
+// coordinate is NaN, infinite, or quantizes outside the int64-safe range —
+// such vectors have no collision-free encoding (the conversion would
+// overflow and collapse distinct points onto one key), so callers must
+// bypass the cache for them.
+func (c *Cache) key(params []float64) (_ string, ok bool) {
 	buf := make([]byte, 8*len(params))
 	for i, p := range params {
-		q := int64(math.Round(p / c.quantum))
-		binary.LittleEndian.PutUint64(buf[8*i:], uint64(q))
+		q := math.Round(p / c.quantum)
+		// NaN compares false against everything, so the range checks
+		// alone would let it through to the unspecified conversion.
+		if math.IsNaN(q) || q > maxQuantized || q < -maxQuantized {
+			return "", false
+		}
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(int64(q)))
 	}
-	return string(buf)
+	return string(buf), true
 }
 
 // peek returns the cached value for a key without touching the counters.
@@ -86,14 +105,26 @@ func (c *Cache) store(k string, v float64) {
 }
 
 // Lookup returns the cached value at params, if present. Hit/miss accounting
-// matches the engine's.
+// matches the engine's. Vectors with non-finite or out-of-range coordinates
+// are never cached and always miss.
 func (c *Cache) Lookup(params []float64) (float64, bool) {
-	return c.lookup(c.key(params))
+	k, ok := c.key(params)
+	if !ok {
+		c.misses.Add(1)
+		return 0, false
+	}
+	return c.lookup(k)
 }
 
-// Store records a value at params.
+// Store records a value at params. Vectors with non-finite or out-of-range
+// coordinates are dropped: they have no collision-free key, and storing them
+// would return their value for unrelated parameter vectors.
 func (c *Cache) Store(params []float64, v float64) {
-	c.store(c.key(params), v)
+	k, ok := c.key(params)
+	if !ok {
+		return
+	}
+	c.store(k, v)
 }
 
 // Hits returns the number of lookups served without an execution — stored
@@ -117,4 +148,67 @@ func (c *Cache) Reset() {
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+}
+
+// Quantum returns the parameter quantization step keys are built with.
+func (c *Cache) Quantum() float64 { return c.quantum }
+
+// cacheSnapshot is the on-disk form of a Cache: the quantization step (keys
+// are only meaningful relative to it) plus the stored entries. Counters are
+// deliberately not persisted — a restored cache starts its hit/miss
+// accounting fresh.
+type cacheSnapshot struct {
+	Version int
+	Quantum float64
+	Entries map[string]float64
+}
+
+// snapshotVersion guards the wire format of Snapshot/Restore.
+const snapshotVersion = 1
+
+// Snapshot writes the cache contents (quantization step and all stored
+// entries, not the hit/miss counters) to w in a self-describing binary
+// format, so a long-running service can spill its memoized executions to
+// disk on shutdown and warm-start from them later via Restore.
+func (c *Cache) Snapshot(w io.Writer) error {
+	c.mu.RLock()
+	snap := cacheSnapshot{
+		Version: snapshotVersion,
+		Quantum: c.quantum,
+		Entries: make(map[string]float64, len(c.m)),
+	}
+	for k, v := range c.m {
+		snap.Entries[k] = v
+	}
+	c.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Restore merges a Snapshot into the cache. The snapshot must have been
+// taken with the same quantization step — keys are quantized coordinates, so
+// entries written under a different step would decode to different points.
+// Existing entries win over snapshot entries with the same key, and the
+// merge respects the maxEntries cap. Counters are left untouched.
+func (c *Cache) Restore(r io.Reader) error {
+	var snap cacheSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("exec: decoding cache snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("exec: cache snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.Quantum != c.quantum {
+		return fmt.Errorf("exec: cache snapshot quantum %g does not match cache quantum %g", snap.Quantum, c.quantum)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range snap.Entries {
+		if len(c.m) >= maxEntries {
+			break
+		}
+		if _, ok := c.m[k]; !ok {
+			c.m[k] = v
+		}
+	}
+	return nil
 }

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheKeyOverflowDistinct is the regression test for the int64 key
+// overflow: coordinates beyond ~9.2e18*quantum used to collapse onto one
+// key, so distinct parameter vectors returned each other's cached values.
+func TestCacheKeyOverflowDistinct(t *testing.T) {
+	c := NewCache(1e-9)
+	// Both quantize far beyond int64 range; before the fix they shared the
+	// unspecified overflow sentinel key.
+	a := []float64{1e19}
+	b := []float64{2e19}
+	c.Store(a, 1)
+	if _, ok := c.Lookup(b); ok {
+		t.Fatal("lookup of a distinct overflowing vector hit another vector's entry")
+	}
+	// Overflowing vectors are never stored at all: even the exact same
+	// vector must miss, because its key is not collision-free.
+	if _, ok := c.Lookup(a); ok {
+		t.Fatal("overflowing vector was cached despite having no collision-free key")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache stored %d entries for uncacheable vectors", c.Len())
+	}
+}
+
+func TestCacheNonFiniteBypass(t *testing.T) {
+	c := NewCache(0)
+	for _, p := range [][]float64{
+		{math.NaN()},
+		{math.Inf(1)},
+		{math.Inf(-1)},
+		{0.5, math.NaN()},
+	} {
+		c.Store(p, 7)
+		if _, ok := c.Lookup(p); ok {
+			t.Fatalf("non-finite vector %v was cached", p)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache stored %d non-finite entries", c.Len())
+	}
+	// Finite vectors keep working, and are not aliased by the bypassed
+	// stores above.
+	c.Store([]float64{0.5, 0.25}, 3)
+	if v, ok := c.Lookup([]float64{0.5, 0.25}); !ok || v != 3 {
+		t.Fatalf("finite lookup = %g, %v", v, ok)
+	}
+}
+
+// TestEngineCacheBypassesUncacheable checks the engine executes uncacheable
+// points every time — no dedup, no store — while finite points still
+// memoize.
+func TestEngineCacheBypassesUncacheable(t *testing.T) {
+	var calls atomic.Int64
+	inner := Lift(func(p []float64) (float64, error) {
+		calls.Add(1)
+		if math.IsNaN(p[0]) {
+			return -1, nil
+		}
+		return p[0] * 2, nil
+	})
+	cache := NewCache(0)
+	en := New(inner, Options{Workers: 1, Cache: cache})
+
+	batch := [][]float64{{math.NaN()}, {1}, {math.NaN()}, {1}}
+	out, err := en.EvaluateBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != -1 || out[2] != -1 || out[1] != 2 || out[3] != 2 {
+		t.Fatalf("results %v", out)
+	}
+	// Two NaN executions (no dedup) + one finite execution (deduped).
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d executions, want 3 (NaN points must not deduplicate)", got)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want only the finite point", cache.Len())
+	}
+
+	// A second batch re-executes the NaN point but hits the finite one.
+	calls.Store(0)
+	if _, err := en.EvaluateBatch(context.Background(), [][]float64{{math.NaN()}, {1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d executions on second batch, want 1 (NaN re-executes, finite hits)", got)
+	}
+}
+
+func TestCacheSnapshotRestoreRoundTrip(t *testing.T) {
+	src := NewCache(1e-6)
+	src.Store([]float64{0.1, 0.2}, 1.5)
+	src.Store([]float64{0.3, 0.4}, -2.5)
+	src.Store([]float64{0.3}, 9) // different arity coexists
+
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewCache(1e-6)
+	dst.Store([]float64{0.1, 0.2}, 100) // existing entries win over the snapshot
+	if err := dst.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("restored cache has %d entries, want 3", dst.Len())
+	}
+	if v, ok := dst.Lookup([]float64{0.3, 0.4}); !ok || v != -2.5 {
+		t.Fatalf("restored lookup = %g, %v", v, ok)
+	}
+	if v, ok := dst.Lookup([]float64{0.1, 0.2}); !ok || v != 100 {
+		t.Fatalf("existing entry overwritten by snapshot: %g, %v", v, ok)
+	}
+	if v, ok := dst.Lookup([]float64{0.3}); !ok || v != 9 {
+		t.Fatalf("restored 1-d lookup = %g, %v", v, ok)
+	}
+}
+
+func TestCacheRestoreQuantumMismatch(t *testing.T) {
+	src := NewCache(1e-6)
+	src.Store([]float64{1}, 1)
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCache(1e-3)
+	if err := dst.Restore(&buf); err == nil {
+		t.Fatal("want error restoring a snapshot with a different quantum")
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("mismatched restore left %d entries", dst.Len())
+	}
+}
+
+func TestCacheRestoreGarbage(t *testing.T) {
+	c := NewCache(0)
+	if err := c.Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("want error decoding garbage")
+	}
+}

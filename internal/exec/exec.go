@@ -145,12 +145,25 @@ func (e *Engine) EvaluateBatch(ctx context.Context, params [][]float64) ([]float
 
 	// Cache pass: satisfy hits immediately and deduplicate the misses so
 	// each distinct point is executed once even within a single batch.
+	// Points whose coordinates cannot be quantized into a collision-free
+	// key (NaN, ±Inf, beyond the int64-safe range) bypass the cache: they
+	// always execute and are never stored or deduplicated, so a degenerate
+	// coordinate can never alias a legitimate cached point.
 	work := make([][]float64, 0, n)  // unique points to execute
 	workPos := make([][]int, 0, n)   // result positions per unique point
 	workKeys := make([]string, 0, n) // cache keys per unique point
+	workOK := make([]bool, 0, n)     // whether the point is cacheable
 	seen := make(map[string]int, n)
 	for i, p := range params {
-		k := c.key(p)
+		k, kok := c.key(p)
+		if !kok {
+			c.misses.Add(1)
+			work = append(work, p)
+			workPos = append(workPos, []int{i})
+			workKeys = append(workKeys, "")
+			workOK = append(workOK, false)
+			continue
+		}
 		if v, ok := c.peek(k); ok {
 			c.hits.Add(1)
 			results[i] = v
@@ -168,6 +181,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, params [][]float64) ([]float
 		work = append(work, p)
 		workPos = append(workPos, []int{i})
 		workKeys = append(workKeys, k)
+		workOK = append(workOK, true)
 	}
 	if len(work) == 0 {
 		return results, nil
@@ -178,7 +192,9 @@ func (e *Engine) EvaluateBatch(ctx context.Context, params [][]float64) ([]float
 		return nil, err
 	}
 	for j, v := range values {
-		c.store(workKeys[j], v)
+		if workOK[j] {
+			c.store(workKeys[j], v)
+		}
 		for _, i := range workPos[j] {
 			results[i] = v
 		}

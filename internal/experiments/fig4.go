@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -250,6 +251,9 @@ func Fig2(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	minV, minIdx := full.Min()
+	if minIdx < 0 {
+		return nil, errors.New("experiments: generated landscape has no finite values")
+	}
 	minPt := grid.Point(minIdx)
 	t := &Table{
 		ID:      "fig2",

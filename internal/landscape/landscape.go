@@ -141,22 +141,33 @@ func New(g *Grid) *Landscape {
 // At returns the value at a multi-index.
 func (l *Landscape) At(mi ...int) float64 { return l.Data[l.Grid.Index(mi...)] }
 
-// Min returns the minimum value and its flat index.
+// Min returns the minimum value and its flat index, ignoring NaN entries
+// (a reconstruction or hardware dataset can carry NaN holes). If the
+// landscape has any non-NaN value the returned index is valid; otherwise —
+// empty data or all-NaN — it returns (NaN, -1), and callers that index must
+// check for the -1 sentinel.
 func (l *Landscape) Min() (float64, int) {
-	best, arg := math.Inf(1), -1
+	best, arg := math.NaN(), -1
 	for i, v := range l.Data {
-		if v < best {
+		if math.IsNaN(v) {
+			continue
+		}
+		if arg < 0 || v < best {
 			best, arg = v, i
 		}
 	}
 	return best, arg
 }
 
-// Max returns the maximum value and its flat index.
+// Max returns the maximum value and its flat index, ignoring NaN entries;
+// the sentinel contract matches Min.
 func (l *Landscape) Max() (float64, int) {
-	best, arg := math.Inf(-1), -1
+	best, arg := math.NaN(), -1
 	for i, v := range l.Data {
-		if v > best {
+		if math.IsNaN(v) {
+			continue
+		}
+		if arg < 0 || v > best {
 			best, arg = v, i
 		}
 	}

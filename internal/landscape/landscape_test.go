@@ -91,6 +91,59 @@ func TestGenerate(t *testing.T) {
 	}
 }
 
+// TestMinMaxNaNTolerant is the regression test for NaN extrema: NaN entries
+// used to poison the scan (every comparison false), returning arg=-1 with
+// ±Inf so callers indexing the result panicked.
+func TestMinMaxNaNTolerant(t *testing.T) {
+	g := mustGrid(t, Axis{Name: "x", Min: 0, Max: 1, N: 2}, Axis{Name: "y", Min: 0, Max: 1, N: 3})
+	l := New(g)
+	copy(l.Data, []float64{math.NaN(), 3, -2, math.NaN(), 7, math.NaN()})
+
+	minV, argmin := l.Min()
+	if minV != -2 || argmin != 2 {
+		t.Fatalf("Min = %g at %d, want -2 at 2", minV, argmin)
+	}
+	maxV, argmax := l.Max()
+	if maxV != 7 || argmax != 4 {
+		t.Fatalf("Max = %g at %d, want 7 at 4", maxV, argmax)
+	}
+
+	// NaN in the first position must not capture the extremum.
+	l2 := New(g)
+	copy(l2.Data, []float64{math.NaN(), 1, 2, 3, 4, 5})
+	if v, i := l2.Min(); v != 1 || i != 1 {
+		t.Fatalf("Min with leading NaN = %g at %d", v, i)
+	}
+
+	// ±Inf are legitimate values, not holes.
+	l3 := New(g)
+	copy(l3.Data, []float64{math.Inf(1), 1, 2, 3, 4, math.Inf(-1)})
+	if v, i := l3.Min(); !math.IsInf(v, -1) || i != 5 {
+		t.Fatalf("Min with -Inf = %g at %d", v, i)
+	}
+	if v, i := l3.Max(); !math.IsInf(v, 1) || i != 0 {
+		t.Fatalf("Max with +Inf = %g at %d", v, i)
+	}
+}
+
+func TestMinMaxAllNaNSentinel(t *testing.T) {
+	g := mustGrid(t, Axis{Name: "x", Min: 0, Max: 1, N: 2}, Axis{Name: "y", Min: 0, Max: 1, N: 2})
+	l := New(g)
+	for i := range l.Data {
+		l.Data[i] = math.NaN()
+	}
+	if v, i := l.Min(); !math.IsNaN(v) || i != -1 {
+		t.Fatalf("all-NaN Min = %g at %d, want NaN at -1", v, i)
+	}
+	if v, i := l.Max(); !math.IsNaN(v) || i != -1 {
+		t.Fatalf("all-NaN Max = %g at %d, want NaN at -1", v, i)
+	}
+	empty := &Landscape{Grid: g}
+	if v, i := empty.Min(); !math.IsNaN(v) || i != -1 {
+		t.Fatalf("empty Min = %g at %d, want NaN at -1", v, i)
+	}
+}
+
 func TestGenerateError(t *testing.T) {
 	g := mustGrid(t, Axis{Name: "x", Min: 0, Max: 1, N: 4}, Axis{Name: "y", Min: 0, Max: 1, N: 4})
 	sentinel := errors.New("boom")

@@ -59,6 +59,37 @@ func TestRunBatchedValuesAndAmortization(t *testing.T) {
 
 func TestRunBatchedDeterministic(t *testing.T) {
 	g := testGrid(t)
+	indices := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	// Reproducibility is across executors built with the same seed: one
+	// executor's stream advances between calls (see
+	// TestRunBatchedAdvancesStreamAcrossCalls).
+	run := func() *RunReport {
+		ex, _ := NewExecutor(9, Device{Name: "a", Eval: evalFunc("a"), Latency: DefaultLatency()})
+		r, err := ex.RunBatched(context.Background(), g, indices, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if r1.Makespan != r2.Makespan || r1.SerialTime != r2.SerialTime {
+		t.Fatalf("virtual time not reproducible: %g/%g vs %g/%g",
+			r1.Makespan, r1.SerialTime, r2.Makespan, r2.SerialTime)
+	}
+	for i := range r1.Results {
+		if r1.Results[i] != r2.Results[i] {
+			t.Fatalf("result %d differs across runs", i)
+		}
+	}
+}
+
+// TestRunBatchedAdvancesStreamAcrossCalls is the regression test for the
+// replayed-RNG bug: successive RunBatched calls on one executor used to
+// rebuild the RNG from the seed and draw identical latencies. A persistent
+// executor must see fresh queue dynamics per run (values stay identical —
+// only virtual time is random).
+func TestRunBatchedAdvancesStreamAcrossCalls(t *testing.T) {
+	g := testGrid(t)
 	ex, _ := NewExecutor(9, Device{Name: "a", Eval: evalFunc("a"), Latency: DefaultLatency()})
 	indices := []int{3, 1, 4, 1, 5, 9, 2, 6}
 	r1, err := ex.RunBatched(context.Background(), g, indices, 3)
@@ -69,13 +100,14 @@ func TestRunBatchedDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Makespan != r2.Makespan || r1.SerialTime != r2.SerialTime {
-		t.Fatalf("virtual time not reproducible: %g/%g vs %g/%g",
-			r1.Makespan, r1.SerialTime, r2.Makespan, r2.SerialTime)
+	if r1.Makespan == r2.Makespan && r1.SerialTime == r2.SerialTime {
+		t.Fatalf("two runs on one executor replayed identical latency draws: makespan %g, serial %g",
+			r1.Makespan, r1.SerialTime)
 	}
 	for i := range r1.Results {
-		if r1.Results[i] != r2.Results[i] {
-			t.Fatalf("result %d differs across runs", i)
+		if r1.Results[i].Index != r2.Results[i].Index ||
+			r1.Results[i].Value != r2.Results[i].Value {
+			t.Fatalf("measured values changed across runs: %+v vs %+v", r1.Results[i], r2.Results[i])
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/backend"
 	"repro/internal/exec"
@@ -124,9 +125,26 @@ func (r *RunReport) Speedup() float64 {
 }
 
 // Executor schedules jobs across devices in virtual time.
+//
+// The latency streams are persistent: successive Run/RunBatched calls on one
+// executor continue the same seeded RNG rather than replaying it, so a
+// long-lived executor (a service simulating a fleet across many requests)
+// draws fresh queue dynamics every run while the whole sequence stays
+// deterministic given the seed. Two executors built with the same seed and
+// run through the same call sequence reproduce each other exactly. Runs on
+// one executor are serialized (they share the streams); use separate
+// executors for concurrent fleets.
 type Executor struct {
 	devices []Device
 	seed    int64
+
+	mu sync.Mutex
+	// rng drives scheduling draws (queue latency, tails, failures).
+	rng *rand.Rand
+	// serialRng drives RunBatched's single-device no-batching baseline from
+	// its own stream so batched and unbatched runs stay independently
+	// reproducible.
+	serialRng *rand.Rand
 }
 
 // NewExecutor builds an executor over the given devices.
@@ -145,7 +163,12 @@ func NewExecutor(seed int64, devices ...Device) (*Executor, error) {
 			return nil, fmt.Errorf("qpu: device %q failure probability %g out of [0,1)", d.Name, d.FailureProb)
 		}
 	}
-	return &Executor{devices: devices, seed: seed}, nil
+	return &Executor{
+		devices:   devices,
+		seed:      seed,
+		rng:       rand.New(rand.NewSource(seed)),
+		serialRng: rand.New(rand.NewSource(seed + 1)),
+	}, nil
 }
 
 // Run executes the cost evaluations for the given flat grid indices,
@@ -155,7 +178,9 @@ func (e *Executor) Run(g *landscape.Grid, indices []int) (*RunReport, error) {
 	if len(indices) == 0 {
 		return nil, errors.New("qpu: no jobs")
 	}
-	rng := rand.New(rand.NewSource(e.seed))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rng := e.rng
 	free := make([]float64, len(e.devices))
 	perDevice := make([]int, len(e.devices))
 	results := make([]Result, 0, len(indices))
@@ -244,10 +269,9 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 			batchSize = 1
 		}
 	}
-	rng := rand.New(rand.NewSource(e.seed))
-	// The serial baseline draws per-job latencies from its own stream so
-	// batched and unbatched runs stay independently reproducible.
-	serialRng := rand.New(rand.NewSource(e.seed + 1))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rng, serialRng := e.rng, e.serialRng
 	free := make([]float64, len(e.devices))
 	perDevice := make([]int, len(e.devices))
 	results := make([]Result, 0, len(indices))

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/landscape"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Job is one reconstruction request flowing through the server. All mutable
+// fields are guarded by the server mutex.
+type Job struct {
+	id    string
+	tag   string
+	spec  *JobSpec
+	built *builtJob
+	cache *exec.Cache // nil for uncacheable (shot-sampled) jobs
+
+	state      JobState
+	errMsg     string
+	httpStatus int // status a Wait submission reports; 0 while unfinished
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	result *JobResult
+}
+
+// JobResult is the outcome of a finished job.
+type JobResult struct {
+	GridSize         int     `json:"grid_size"`
+	Samples          int     `json:"samples"`
+	Speedup          float64 `json:"speedup"`
+	SolverIterations int     `json:"solver_iterations"`
+	Residual         float64 `json:"residual"`
+	Sparsity         int     `json:"sparsity"`
+
+	// Min/Max summarize the reconstructed landscape (NaN-tolerant; the
+	// Arg indices are -1 — and the values encode as JSON null — if the
+	// reconstruction has no finite values).
+	Min      jsonFloat `json:"min"`
+	ArgMin   int       `json:"arg_min"`
+	MinPoint []float64 `json:"min_point,omitempty"`
+	Max      jsonFloat `json:"max"`
+	ArgMax   int       `json:"arg_max"`
+	MaxPoint []float64 `json:"max_point,omitempty"`
+
+	// Data is the full reconstructed landscape (return_data only);
+	// non-finite entries encode as JSON null.
+	Data jsonFloats `json:"data,omitempty"`
+
+	// CacheHits/CacheMisses are the engine cache counters consumed by this
+	// job's execution phase (best-effort under concurrency: concurrent
+	// jobs on one cache interleave their accounting).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// panicError marks a recovered internal panic (HTTP 500).
+type panicError struct{ msg string }
+
+func (e *panicError) Error() string { return e.msg }
+
+// runJob drives a job to completion: wait for a worker slot, execute, and
+// record the outcome. It never panics — internal panics from dct/qsim/
+// landscape surface as a failed job, not a dead process.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	defer s.wg.Done()
+	// Release the job's context resources once it finishes; without this,
+	// every completed async job would stay registered as a live child of
+	// the server's base context for the process lifetime. CancelFuncs are
+	// idempotent, so a later DELETE on the finished job stays safe.
+	defer j.cancel()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.finishJob(j, nil, ctx.Err())
+		return
+	}
+	s.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = time.Now()
+	}
+	s.mu.Unlock()
+	res, err := s.execute(ctx, j)
+	s.finishJob(j, res, err)
+}
+
+// execute runs the OSCAR pipeline for a job inside a panic-recovery
+// boundary.
+func (s *Server) execute(ctx context.Context, j *Job) (res *JobResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			err = &panicError{msg: fmt.Sprintf("internal panic: %v", p)}
+		}
+	}()
+	opt := j.built.opts
+	opt.Workers = s.cfg.JobWorkers
+	opt.Cache = j.cache
+	var h0, m0 int64
+	if j.cache != nil {
+		h0, m0 = j.cache.Hits(), j.cache.Misses()
+	}
+	recon, stats, err := core.ReconstructBatch(ctx, j.built.grid, j.built.eval, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildResult(j, recon, stats, h0, m0), nil
+}
+
+func (s *Server) buildResult(j *Job, recon *landscape.Landscape, stats *core.Stats, h0, m0 int64) *JobResult {
+	res := &JobResult{
+		GridSize:         stats.GridSize,
+		Samples:          stats.Samples,
+		Speedup:          stats.Speedup,
+		SolverIterations: stats.SolverIterations,
+		Residual:         stats.Residual,
+		Sparsity:         stats.Sparsity,
+	}
+	var minV, maxV float64
+	minV, res.ArgMin = recon.Min()
+	maxV, res.ArgMax = recon.Max()
+	res.Min, res.Max = jsonFloat(minV), jsonFloat(maxV)
+	if res.ArgMin >= 0 {
+		res.MinPoint = recon.Grid.Point(res.ArgMin)
+	}
+	if res.ArgMax >= 0 {
+		res.MaxPoint = recon.Grid.Point(res.ArgMax)
+	}
+	if j.spec.ReturnData {
+		res.Data = recon.Data
+	}
+	if j.cache != nil {
+		res.CacheHits = j.cache.Hits() - h0
+		res.CacheMisses = j.cache.Misses() - m0
+	}
+	return res
+}
+
+// finishJob records a job outcome exactly once.
+func (s *Server) finishJob(j *Job, res *JobResult, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		return
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+		j.httpStatus = http.StatusOK
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+		// Non-standard but unambiguous "client closed request".
+		j.httpStatus = 499
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		var pe *panicError
+		if errors.As(err, &pe) {
+			j.httpStatus = http.StatusInternalServerError
+		} else {
+			// Non-panic runtime failures trace back to the job
+			// parameters (solver/evaluator rejected them).
+			j.httpStatus = http.StatusUnprocessableEntity
+		}
+	}
+	close(j.done)
+}
+
+// jobJSON is the wire form of a job.
+type jobJSON struct {
+	ID        string     `json:"id"`
+	Tag       string     `json:"tag,omitempty"`
+	State     JobState   `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	QueueMS   int64      `json:"queue_ms"`
+	RunMS     int64      `json:"run_ms"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+// view renders a job under the server lock.
+func (j *Job) view(now time.Time) jobJSON {
+	v := jobJSON{
+		ID:        j.id,
+		Tag:       j.tag,
+		State:     j.state,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+	}
+	switch {
+	case j.started.IsZero():
+		// Still queued: everything so far is queue time.
+		end := now
+		if !j.finished.IsZero() {
+			end = j.finished
+		}
+		v.QueueMS = end.Sub(j.submitted).Milliseconds()
+	default:
+		v.QueueMS = j.started.Sub(j.submitted).Milliseconds()
+		end := now
+		if !j.finished.IsZero() {
+			end = j.finished
+		}
+		v.RunMS = end.Sub(j.started).Milliseconds()
+	}
+	v.Result = j.result
+	return v
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exec"
+)
+
+// cacheArchive is the on-disk form of the server's cache registry: one
+// exec.Cache snapshot per device configuration.
+type cacheArchive struct {
+	Version int
+	Quantum float64
+	Caches  map[string][]byte
+}
+
+const archiveVersion = 1
+
+// SnapshotCaches writes every per-configuration execution cache to w, so a
+// restarted server can warm-start from its predecessor's memoized circuit
+// executions.
+func (s *Server) SnapshotCaches(w io.Writer) error {
+	s.mu.Lock()
+	caches := make(map[string]*exec.Cache, len(s.caches))
+	for k, c := range s.caches {
+		caches[k] = c
+	}
+	s.mu.Unlock()
+
+	arch := cacheArchive{
+		Version: archiveVersion,
+		Quantum: s.cfg.Quantum,
+		Caches:  make(map[string][]byte, len(caches)),
+	}
+	for k, c := range caches {
+		var buf bytes.Buffer
+		if err := c.Snapshot(&buf); err != nil {
+			return fmt.Errorf("service: snapshotting cache for %s: %w", k, err)
+		}
+		arch.Caches[k] = buf.Bytes()
+	}
+	return gob.NewEncoder(w).Encode(arch)
+}
+
+// RestoreCaches merges a SnapshotCaches archive into the registry. The
+// archive must have been written with the server's quantization step.
+func (s *Server) RestoreCaches(r io.Reader) error {
+	var arch cacheArchive
+	if err := gob.NewDecoder(r).Decode(&arch); err != nil {
+		return fmt.Errorf("service: decoding cache archive: %w", err)
+	}
+	if arch.Version != archiveVersion {
+		return fmt.Errorf("service: cache archive version %d, want %d", arch.Version, archiveVersion)
+	}
+	if arch.Quantum != s.cfg.Quantum {
+		return fmt.Errorf("service: cache archive quantum %g does not match server quantum %g",
+			arch.Quantum, s.cfg.Quantum)
+	}
+	for key, blob := range arch.Caches {
+		if err := s.cacheFor(key).Restore(bytes.NewReader(blob)); err != nil {
+			return fmt.Errorf("service: restoring cache for %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// SaveCacheFile spills the cache registry to path (written to a temp file
+// first so an interrupted save never truncates a good archive).
+func (s *Server) SaveCacheFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".oscard-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.SnapshotCaches(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCacheFile warm-starts the cache registry from path. A missing file is
+// not an error — it is the normal first boot.
+func (s *Server) LoadCacheFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.RestoreCaches(f)
+}
+
+// CacheEntries reports the total number of memoized executions across all
+// configurations (used by oscard's startup/shutdown logging).
+func (s *Server) CacheEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.caches {
+		n += c.Len()
+	}
+	return n
+}

@@ -1,0 +1,440 @@
+// Package service exposes the OSCAR engine as a long-running HTTP job
+// server: clients POST reconstruction jobs (problem spec, device, grid,
+// solver options as JSON), the server runs them through a shared execution
+// engine with a bounded worker pool, and identical device configurations
+// share one memoizing execution cache across requests — the service-level
+// deployment the ROADMAP calls for.
+//
+// Endpoints:
+//
+//	POST   /jobs      submit a job; "wait": true streams the result on the
+//	                  open connection (disconnecting cancels the solve),
+//	                  otherwise returns 202 with the job id to poll
+//	GET    /jobs      list jobs (newest last)
+//	GET    /jobs/{id} poll one job (state, timings, result when done)
+//	DELETE /jobs/{id} cancel a queued or running job
+//	GET    /stats     cache hit/miss/size per device configuration,
+//	                  job counts, per-job timings, recovered panics
+//	GET    /healthz   liveness probe
+//
+// Every job runs under its own context.Context: client disconnects (for
+// wait-mode submissions), DELETE, and server shutdown all cancel the solve
+// through the engine's existing cancellation plumbing. A panic-recovery
+// boundary around each job and each request converts internal panics into
+// HTTP errors instead of process death.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// Config bounds the server.
+type Config struct {
+	// MaxConcurrent bounds reconstruction jobs running at once (further
+	// submissions queue). Default 8.
+	MaxConcurrent int
+	// JobWorkers is the per-job worker budget for the execution engine and
+	// the sharded solver (0 = GOMAXPROCS).
+	JobWorkers int
+	// MaxGridPoints rejects grids larger than this at submission (413-free
+	// simplicity: it is a 400). Default 1<<20.
+	MaxGridPoints int
+	// MaxQubits rejects statevector/density jobs beyond this size.
+	// Default 20.
+	MaxQubits int
+	// Quantum is the cache parameter quantization step (0 = engine
+	// default).
+	Quantum float64
+	// MaxJobsKept bounds the finished-job history; the oldest finished
+	// jobs are evicted first. Default 512.
+	MaxJobsKept int
+	// MaxBodyBytes bounds request bodies. Default 1<<20.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.JobWorkers < 0 {
+		c.JobWorkers = 1
+	}
+	if c.MaxGridPoints <= 0 {
+		c.MaxGridPoints = 1 << 20
+	}
+	if c.MaxQubits <= 0 {
+		c.MaxQubits = 20
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = exec.DefaultQuantum
+	}
+	if c.MaxJobsKept <= 0 {
+		c.MaxJobsKept = 512
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the reconstruction job service.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing and eviction
+	seq    int64
+	caches map[string]*exec.Cache
+
+	panics atomic.Int64
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		start:      time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		caches:     make(map[string]*exec.Cache),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler with a request-level panic-recovery
+// boundary: a handler panic answers 500 (best effort) instead of killing
+// the connection handler goroutine with a stack dump.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			writeJSON(w, http.StatusInternalServerError,
+				map[string]any{"error": fmt.Sprintf("internal panic: %v", p)})
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels every in-flight job and waits for them to drain. The server
+// keeps answering requests (new submissions fail fast with canceled jobs);
+// callers shut the HTTP listener down separately.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// Drain waits up to timeout for in-flight jobs to finish naturally, then
+// cancels the stragglers — the graceful half of shutdown.
+func (s *Server) Drain(timeout time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+	}
+	s.Close()
+}
+
+// cacheFor returns the shared cache for a device configuration, creating it
+// on first use.
+func (s *Server) cacheFor(configKey string) *exec.Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.caches[configKey]
+	if !ok {
+		c = exec.NewCache(s.cfg.Quantum)
+		s.caches[configKey] = c
+	}
+	return c
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	spec := new(JobSpec)
+	if err := dec.Decode(spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "malformed job: " + err.Error()})
+		return
+	}
+	built, err := buildJob(spec, s.cfg)
+	if err != nil {
+		status := http.StatusBadRequest
+		var se *specError
+		if !errors.As(err, &se) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, map[string]any{"error": err.Error()})
+		return
+	}
+
+	j := &Job{
+		tag:       spec.Tag,
+		spec:      spec,
+		built:     built,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	if built.cacheable {
+		j.cache = s.cacheFor(built.configKey)
+	}
+
+	// Wait-mode jobs live on the request context (client disconnect
+	// cancels the solve); async jobs live on the server context (DELETE
+	// cancels). Both die on shutdown.
+	parent := s.baseCtx
+	if spec.Wait {
+		parent = r.Context()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	j.cancel = cancel
+	if spec.Wait {
+		stop := context.AfterFunc(s.baseCtx, cancel)
+		defer stop()
+	}
+
+	s.mu.Lock()
+	s.seq++
+	j.id = fmt.Sprintf("j%06d", s.seq)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	if !spec.Wait {
+		go s.runJob(ctx, j)
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "state": StateQueued})
+		return
+	}
+	s.runJob(ctx, j)
+	s.mu.Lock()
+	status := j.httpStatus
+	view := j.view(time.Now())
+	s.mu.Unlock()
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var view jobJSON
+	if ok {
+		view = j.view(time.Now())
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	s.mu.Lock()
+	views := make([]jobJSON, 0, len(s.order))
+	for _, id := range s.order {
+		v := s.jobs[id].view(now)
+		v.Result = nil // summaries only; poll the job for its result
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var cancel context.CancelFunc
+	if ok {
+		cancel = j.cancel
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown job"})
+		return
+	}
+	cancel()
+	// Wait for the job to acknowledge so the response reflects its final
+	// state (cancellation stops the solve between engine chunks / solver
+	// iterations, so this is prompt).
+	select {
+	case <-j.done:
+	case <-time.After(5 * time.Second):
+	}
+	s.mu.Lock()
+	view := j.view(time.Now())
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// cacheStats is one configuration's cache accounting.
+type cacheStats struct {
+	Config string `json:"config"`
+	Len    int    `json:"len"`
+	Hits   int64  `json:"hits"`
+	Misses int64  `json:"misses"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	s.mu.Lock()
+	counts := map[JobState]int{}
+	recent := make([]jobJSON, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		counts[j.state]++
+		v := j.view(now)
+		v.Result = nil
+		recent = append(recent, v)
+	}
+	total := len(recent)
+	if len(recent) > 32 {
+		recent = recent[len(recent)-32:]
+	}
+	caches := make([]cacheStats, 0, len(s.caches))
+	var totalHits, totalMisses int64
+	totalLen := 0
+	for key, c := range s.caches {
+		st := cacheStats{Config: key, Len: c.Len(), Hits: c.Hits(), Misses: c.Misses()}
+		totalHits += st.Hits
+		totalMisses += st.Misses
+		totalLen += st.Len
+		caches = append(caches, st)
+	}
+	s.mu.Unlock()
+	sort.Slice(caches, func(i, j int) bool { return caches[i].Config < caches[j].Config })
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":     time.Since(s.start).Seconds(),
+		"goroutines":   runtime.NumGoroutine(),
+		"panics":       s.panics.Load(),
+		"max_parallel": s.cfg.MaxConcurrent,
+		"jobs": map[string]any{
+			"total":    total,
+			"by_state": counts,
+			"recent":   recent,
+		},
+		"cache": map[string]any{
+			"configs":      caches,
+			"total_len":    totalLen,
+			"total_hits":   totalHits,
+			"total_misses": totalMisses,
+		},
+	})
+}
+
+// evictLocked trims finished jobs beyond MaxJobsKept, oldest first. Unfinished
+// jobs are never evicted.
+func (s *Server) evictLocked() {
+	excess := len(s.order) - s.cfg.MaxJobsKept
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		finished := j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+		if excess > 0 && finished {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// jsonFloat is a float64 whose JSON form is null when non-finite —
+// encoding/json rejects NaN/±Inf outright, which would otherwise turn a
+// response carrying the documented NaN sentinel into an empty body.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (v jsonFloat) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, f, 'g', -1, 64), nil
+}
+
+// jsonFloats is a float64 slice encoding non-finite entries as null.
+type jsonFloats []float64
+
+// MarshalJSON implements json.Marshaler.
+func (d jsonFloats) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 2+16*len(d))
+	buf = append(buf, '[')
+	for i, v := range d {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			buf = append(buf, "null"...)
+		} else {
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+	}
+	return append(buf, ']'), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode before writing the header: an encoding failure after
+	// WriteHeader could only produce a truncated 200.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		status = http.StatusInternalServerError
+		buf.Reset()
+		fmt.Fprintf(&buf, "{\"error\":%q}\n", "encoding response: "+err.Error())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}

@@ -1,0 +1,399 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ansatz"
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/cs"
+	"repro/internal/exec"
+	"repro/internal/landscape"
+	"repro/internal/noise"
+	"repro/internal/problem"
+)
+
+// JobSpec is the JSON body of a reconstruction job: which problem to build,
+// which simulated device to run it on, the parameter grid, and the OSCAR
+// sampling/solver options.
+type JobSpec struct {
+	Problem ProblemSpec `json:"problem"`
+	Backend BackendSpec `json:"backend"`
+	Grid    GridSpec    `json:"grid"`
+	Options OptionsSpec `json:"options"`
+
+	// Wait, when true, keeps the HTTP request open until the job finishes
+	// and returns the result inline; closing the connection cancels the
+	// solve. When false the job runs asynchronously and is polled by id.
+	Wait bool `json:"wait,omitempty"`
+	// ReturnData includes the full reconstructed landscape in the result
+	// (grid-size floats); summaries (min/max/stats) are always returned.
+	ReturnData bool `json:"return_data,omitempty"`
+	// Tag is an optional client label echoed back in job listings.
+	Tag string `json:"tag,omitempty"`
+}
+
+// ProblemSpec selects a problem Hamiltonian.
+type ProblemSpec struct {
+	// Kind is one of "maxcut3" (random 3-regular MaxCut), "sk"
+	// (Sherrington-Kirkpatrick), "mesh" (mesh MaxCut), "h2", "lih".
+	Kind string `json:"kind"`
+	// N is the qubit count for maxcut3/sk.
+	N int `json:"n,omitempty"`
+	// Seed drives random problem construction (maxcut3, sk).
+	Seed int64 `json:"seed,omitempty"`
+	// Rows, Cols shape the mesh problem.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+}
+
+// NoiseSpec is a depolarizing noise profile.
+type NoiseSpec struct {
+	Name string  `json:"name,omitempty"`
+	P1   float64 `json:"p1"`
+	P2   float64 `json:"p2"`
+}
+
+// BackendSpec selects the simulated device.
+type BackendSpec struct {
+	// Kind is one of "analytic" (closed-form depth-1 QAOA), "statevector",
+	// "density".
+	Kind string `json:"kind"`
+	// Ansatz is "qaoa" (default) or "twolocal"; ignored by analytic.
+	Ansatz string `json:"ansatz,omitempty"`
+	// Depth is the QAOA depth or TwoLocal reps (default 1).
+	Depth int `json:"depth,omitempty"`
+	// Noise applies a depolarizing profile (analytic damping factors or
+	// density-matrix channels). Nil means ideal.
+	Noise *NoiseSpec `json:"noise,omitempty"`
+	// Shots, when positive, wraps the device with finite-shot sampling
+	// noise. Shot-sampled jobs bypass the shared execution cache: their
+	// values are stochastic, and freezing one draw would silently turn
+	// noise into bias for every later job.
+	Shots    int     `json:"shots,omitempty"`
+	ShotSeed int64   `json:"shot_seed,omitempty"`
+	Spread   float64 `json:"spread,omitempty"`
+}
+
+// AxisSpec is one explicit grid axis.
+type AxisSpec struct {
+	Name string  `json:"name"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	N    int     `json:"n"`
+}
+
+// GridSpec is either the QAOA shorthand (the paper's Table 1 beta/gamma
+// grid) or an explicit axis list.
+type GridSpec struct {
+	// BetaN, GammaN select the QAOA shorthand grid resolution.
+	BetaN  int `json:"beta_n,omitempty"`
+	GammaN int `json:"gamma_n,omitempty"`
+	// Axes overrides the shorthand with explicit axes (must be an even
+	// count >= 2: the solver reshapes them into a 2-D image).
+	Axes []AxisSpec `json:"axes,omitempty"`
+}
+
+// SolverSpec overrides compressed-sensing solver defaults.
+type SolverSpec struct {
+	Method    string  `json:"method,omitempty"` // fista (default) | ista | omp
+	Lambda    float64 `json:"lambda,omitempty"`
+	LambdaRel float64 `json:"lambda_rel,omitempty"`
+	MaxIter   int     `json:"max_iter,omitempty"`
+	Tol       float64 `json:"tol,omitempty"`
+}
+
+// OptionsSpec configures the OSCAR pipeline.
+type OptionsSpec struct {
+	// SamplingFraction is the fraction of grid points to execute, in
+	// (0, 1]. Required.
+	SamplingFraction float64 `json:"sampling_fraction"`
+	// Seed drives parameter sampling.
+	Seed int64 `json:"seed,omitempty"`
+	// Stratified switches to jittered stratified sampling.
+	Stratified bool `json:"stratified,omitempty"`
+	// Solver overrides solver defaults.
+	Solver *SolverSpec `json:"solver,omitempty"`
+}
+
+// specError marks a client-side job specification problem (HTTP 400).
+type specError struct{ msg string }
+
+func (e *specError) Error() string { return e.msg }
+
+func specErrorf(format string, args ...any) error {
+	return &specError{msg: fmt.Sprintf(format, args...)}
+}
+
+// builtJob is a validated, executable job: everything runJob needs except
+// the server-owned cache and worker budget.
+type builtJob struct {
+	grid *landscape.Grid
+	eval exec.BatchEvaluator
+	opts core.Options
+	// cacheable is false for stochastic (shot-sampled) devices.
+	cacheable bool
+	// configKey canonicalizes (problem, backend) so identical jobs share
+	// one cache and differently-configured jobs never alias.
+	configKey string
+	qubits    int
+}
+
+// normalize fills spec defaults in place so equivalent specs canonicalize to
+// the same configKey.
+func (s *JobSpec) normalize() {
+	s.Problem.Kind = strings.ToLower(strings.TrimSpace(s.Problem.Kind))
+	s.Backend.Kind = strings.ToLower(strings.TrimSpace(s.Backend.Kind))
+	s.Backend.Ansatz = strings.ToLower(strings.TrimSpace(s.Backend.Ansatz))
+	if s.Backend.Ansatz == "" {
+		s.Backend.Ansatz = "qaoa"
+	}
+	if s.Backend.Depth == 0 {
+		s.Backend.Depth = 1
+	}
+	if s.Backend.Noise != nil && s.Backend.Noise.P1 == 0 && s.Backend.Noise.P2 == 0 {
+		s.Backend.Noise = nil
+	}
+	if s.Backend.Shots == 0 {
+		s.Backend.ShotSeed = 0
+		s.Backend.Spread = 0
+	}
+}
+
+func buildProblem(ps ProblemSpec) (*problem.Problem, error) {
+	var (
+		p   *problem.Problem
+		err error
+	)
+	switch ps.Kind {
+	case "maxcut3":
+		if ps.N <= 0 {
+			return nil, specErrorf("problem: maxcut3 needs n > 0")
+		}
+		p, err = problem.Random3RegularMaxCut(ps.N, rand.New(rand.NewSource(ps.Seed)))
+	case "sk":
+		if ps.N <= 0 {
+			return nil, specErrorf("problem: sk needs n > 0")
+		}
+		p, err = problem.SK(ps.N, rand.New(rand.NewSource(ps.Seed)))
+	case "mesh":
+		p, err = problem.MeshMaxCut(ps.Rows, ps.Cols)
+	case "h2":
+		return problem.H2(), nil
+	case "lih":
+		return problem.LiH(), nil
+	case "":
+		return nil, specErrorf("problem: missing kind")
+	default:
+		return nil, specErrorf("problem: unknown kind %q (want maxcut3|sk|mesh|h2|lih)", ps.Kind)
+	}
+	if err != nil {
+		// Constructor rejections (odd n for 3-regular graphs, sk size
+		// limits, degenerate meshes) are the client's parameters.
+		return nil, &specError{msg: err.Error()}
+	}
+	return p, nil
+}
+
+func buildAnsatz(bs BackendSpec, p *problem.Problem) (*ansatz.Ansatz, error) {
+	switch bs.Ansatz {
+	case "qaoa":
+		if p.Graph == nil {
+			return nil, specErrorf("backend: qaoa ansatz needs a graph problem, got %q", p.Name)
+		}
+		return ansatz.QAOA(p.Graph, bs.Depth)
+	case "twolocal":
+		return ansatz.TwoLocal(p.N(), bs.Depth)
+	default:
+		return nil, specErrorf("backend: unknown ansatz %q (want qaoa|twolocal)", bs.Ansatz)
+	}
+}
+
+func buildEvaluator(bs BackendSpec, p *problem.Problem, maxQubits int) (backend.Evaluator, error) {
+	prof := noise.Ideal()
+	if bs.Noise != nil {
+		name := bs.Noise.Name
+		if name == "" {
+			name = "depolarizing"
+		}
+		prof = noise.Profile{Name: name, P1: bs.Noise.P1, P2: bs.Noise.P2}
+		if err := prof.Validate(); err != nil {
+			return nil, specErrorf("backend: %v", err)
+		}
+	}
+	var (
+		eval backend.Evaluator
+		err  error
+	)
+	switch bs.Kind {
+	case "analytic":
+		eval, err = backend.NewAnalyticQAOA(p, prof)
+	case "statevector":
+		if p.N() > maxQubits {
+			return nil, specErrorf("backend: %d qubits exceeds the server limit of %d", p.N(), maxQubits)
+		}
+		var a *ansatz.Ansatz
+		if a, err = buildAnsatz(bs, p); err == nil {
+			eval, err = backend.NewStateVector(p, a)
+		}
+	case "density":
+		if p.N() > maxQubits {
+			return nil, specErrorf("backend: %d qubits exceeds the server limit of %d", p.N(), maxQubits)
+		}
+		var a *ansatz.Ansatz
+		if a, err = buildAnsatz(bs, p); err == nil {
+			eval, err = backend.NewDensity(p, a, prof)
+		}
+	case "":
+		return nil, specErrorf("backend: missing kind")
+	default:
+		return nil, specErrorf("backend: unknown kind %q (want analytic|statevector|density)", bs.Kind)
+	}
+	if err != nil {
+		if _, ok := err.(*specError); ok {
+			return nil, err
+		}
+		// Constructor errors are misconfigurations (bad depth, too many
+		// qubits for density, non-graph problem): the client's fault.
+		return nil, &specError{msg: err.Error()}
+	}
+	if bs.Shots > 0 {
+		eval, err = backend.NewWithShots(eval, bs.Shots, bs.Spread, bs.ShotSeed)
+		if err != nil {
+			return nil, &specError{msg: err.Error()}
+		}
+	}
+	return eval, nil
+}
+
+func buildGrid(gs GridSpec, maxPoints int) (*landscape.Grid, error) {
+	var axes []landscape.Axis
+	if len(gs.Axes) > 0 {
+		if gs.BetaN != 0 || gs.GammaN != 0 {
+			return nil, specErrorf("grid: give either beta_n/gamma_n or axes, not both")
+		}
+		if len(gs.Axes)%2 != 0 {
+			return nil, specErrorf("grid: reconstruction needs an even number of axes, got %d", len(gs.Axes))
+		}
+		for _, a := range gs.Axes {
+			if !isFinite(a.Min) || !isFinite(a.Max) {
+				return nil, specErrorf("grid: axis %q has non-finite bounds", a.Name)
+			}
+			axes = append(axes, landscape.Axis{Name: a.Name, Min: a.Min, Max: a.Max, N: a.N})
+		}
+	} else {
+		if gs.BetaN < 2 || gs.GammaN < 2 {
+			return nil, specErrorf("grid: beta_n and gamma_n must be >= 2 (or give explicit axes)")
+		}
+		bMin, bMax, gMin, gMax := ansatz.QAOAGridAxes(1)
+		axes = []landscape.Axis{
+			{Name: "beta", Min: bMin, Max: bMax, N: gs.BetaN},
+			{Name: "gamma", Min: gMin, Max: gMax, N: gs.GammaN},
+		}
+	}
+	// Reject oversized grids before allocating anything: the axis counts
+	// multiply, so check with overflow care.
+	points := 1
+	for _, a := range axes {
+		if a.N < 2 {
+			return nil, specErrorf("grid: axis %q needs n >= 2, got %d", a.Name, a.N)
+		}
+		if points > maxPoints/a.N {
+			return nil, specErrorf("grid: more than the maximum %d points", maxPoints)
+		}
+		points *= a.N
+	}
+	g, err := landscape.NewGrid(axes...)
+	if err != nil {
+		return nil, &specError{msg: err.Error()}
+	}
+	return g, nil
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func buildSolver(ss *SolverSpec) (cs.Options, error) {
+	opt := cs.DefaultOptions()
+	if ss == nil {
+		return opt, nil
+	}
+	switch strings.ToLower(ss.Method) {
+	case "", "fista":
+		opt.Method = cs.FISTA
+	case "ista":
+		opt.Method = cs.ISTA
+	case "omp":
+		opt.Method = cs.OMP
+	default:
+		return opt, specErrorf("solver: unknown method %q (want fista|ista|omp)", ss.Method)
+	}
+	if ss.Lambda < 0 || ss.LambdaRel < 0 || ss.Tol < 0 || ss.MaxIter < 0 {
+		return opt, specErrorf("solver: negative solver parameters")
+	}
+	if ss.Lambda > 0 {
+		opt.Lambda = ss.Lambda
+	}
+	if ss.LambdaRel > 0 {
+		opt.LambdaRel = ss.LambdaRel
+	}
+	if ss.MaxIter > 0 {
+		opt.MaxIter = ss.MaxIter
+	}
+	if ss.Tol > 0 {
+		opt.Tol = ss.Tol
+	}
+	return opt, nil
+}
+
+// buildJob validates a spec against the server limits and assembles the
+// executable job. All validation errors are *specError (HTTP 400).
+func buildJob(spec *JobSpec, cfg Config) (*builtJob, error) {
+	spec.normalize()
+	prob, err := buildProblem(spec.Problem)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := buildEvaluator(spec.Backend, prob, cfg.MaxQubits)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := buildGrid(spec.Grid, cfg.MaxGridPoints)
+	if err != nil {
+		return nil, err
+	}
+	if want := eval.NumParams(); len(grid.Axes) != want {
+		return nil, specErrorf("grid: %d axes but backend %q expects %d parameters",
+			len(grid.Axes), eval.Name(), want)
+	}
+	if f := spec.Options.SamplingFraction; f <= 0 || f > 1 || math.IsNaN(f) {
+		return nil, specErrorf("options: sampling_fraction %g out of (0,1]", f)
+	}
+	solver, err := buildSolver(spec.Options.Solver)
+	if err != nil {
+		return nil, err
+	}
+	key, err := json.Marshal(struct {
+		Problem ProblemSpec `json:"problem"`
+		Backend BackendSpec `json:"backend"`
+	}{spec.Problem, spec.Backend})
+	if err != nil {
+		return nil, err
+	}
+	return &builtJob{
+		grid: grid,
+		eval: exec.FromEvaluator(eval),
+		opts: core.Options{
+			SamplingFraction: spec.Options.SamplingFraction,
+			Seed:             spec.Options.Seed,
+			Stratified:       spec.Options.Stratified,
+			Solver:           solver,
+		},
+		cacheable: spec.Backend.Shots == 0,
+		configKey: string(key),
+		qubits:    prob.N(),
+	}, nil
+}

@@ -17,6 +17,11 @@
 // density-matrix simulators, problem Hamiltonians and ansatzes, FFT/DCT and
 // l1 solvers, classical optimizers, noise mitigation, multi-QPU scheduling,
 // and the noise-compensation model.
+//
+// For service deployments, cmd/oscard wraps this pipeline in a long-running
+// HTTP job server (internal/service) with a bounded worker pool and shared
+// per-configuration execution caches; see the README's "Running as a
+// service" section.
 package oscar
 
 import (
@@ -91,7 +96,9 @@ type (
 func NewEngine(inner BatchEvaluator, opt EngineOptions) *Engine { return exec.New(inner, opt) }
 
 // NewEvalCache builds a memoizing execution cache (quantum <= 0 selects the
-// default parameter quantization).
+// default parameter quantization). Parameter vectors with non-finite or
+// out-of-range coordinates bypass the cache, and Snapshot/Restore spill the
+// memoized executions to disk for warm-starts across processes.
 func NewEvalCache(quantum float64) *EvalCache { return exec.NewCache(quantum) }
 
 // Batch lifts an Evaluator into a BatchEvaluator, using its native batch
