@@ -21,10 +21,12 @@ import (
 	"repro/internal/dct"
 	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/landscape"
 	"repro/internal/noise"
 	"repro/internal/problem"
+	"repro/internal/qpu"
 )
 
 func benchConfig() experiments.Config {
@@ -70,6 +72,67 @@ func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
 
 func BenchmarkSpeedup(b *testing.B) { runExperiment(b, "speedup") }
 func BenchmarkEager(b *testing.B)   { runExperiment(b, "eager") }
+func BenchmarkFleet(b *testing.B)   { runExperiment(b, "fleet") }
+
+// BenchmarkFleetAdaptive pits adaptive batch sizing against fixed batch
+// sizes on a 3-device heterogeneous fleet (queue/exec ratios 120:1, 6:1,
+// 0.8:1): each sub-benchmark runs the 500-job fleet schedule and reports the
+// mean simulated makespan over 6 seeds as the "makespan_s" metric — the
+// acceptance bar is adaptive at or below every fixed size. Wall-clock time
+// here measures scheduling + evaluation overhead; the virtual makespan is
+// the headline number.
+func BenchmarkFleetAdaptive(b *testing.B) {
+	rng := rand.New(rand.NewSource(91))
+	p, err := problem.Random3RegularMaxCut(16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := backend.NewAnalyticQAOA(p, noise.Fig4())
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := QAOAGrid(1, 50, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := core.SampleGrid(grid, 0.10, 7, false) // 500 jobs
+	if err != nil {
+		b.Fatal(err)
+	}
+	devices := []qpu.Device{
+		{Name: "hiq", Eval: ev, Latency: qpu.LatencyModel{QueueMedian: 120, Sigma: 0.5, Exec: 1}},
+		{Name: "mid", Eval: ev, Latency: qpu.LatencyModel{QueueMedian: 30, Sigma: 0.5, Exec: 5}},
+		{Name: "slow", Eval: ev, Latency: qpu.LatencyModel{QueueMedian: 10, Sigma: 0.5, Exec: 12}},
+	}
+	seeds := []int64{1, 2, 3, 5, 8, 13}
+	variants := []struct {
+		name  string
+		fixed int
+	}{
+		{"adaptive", 0}, {"fixed-8", 8}, {"fixed-32", 32}, {"fixed-64", 64}, {"fixed-128", 128},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mean = 0
+				for _, seed := range seeds {
+					s, err := fleet.New(fleet.Options{Seed: seed, FixedBatch: v.fixed}, devices...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep, err := s.Run(context.Background(), grid, idx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mean += rep.Makespan / float64(len(seeds))
+				}
+			}
+			b.ReportMetric(mean, "makespan_s")
+		})
+	}
+}
 
 // benchLandscape builds a deterministic 16-qubit noisy QAOA landscape for
 // the ablations.

@@ -36,7 +36,9 @@ func main() {
 		maxQubits  = flag.Int("max-qubits", 20, "max qubits for simulator backends")
 		quantum    = flag.Float64("quantum", 0, "cache parameter quantization (0 = default)")
 		cacheFile  = flag.String("cache-file", "", "spill caches here on shutdown and warm-start from it")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		spillEvery = flag.Duration("cache-spill-interval", 0,
+			"also spill caches to -cache-file on this interval (0 = only on shutdown), so a crash loses at most one interval of memoized executions")
+		drain = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -55,6 +57,32 @@ func main() {
 		}
 	}
 
+	// Periodic background spill: the SaveCacheFile temp-file + atomic-rename
+	// path guarantees a reader (or a crash mid-spill) never sees a torn
+	// archive, so spilling while jobs run is safe.
+	var spillDone chan struct{}
+	stopSpill := make(chan struct{})
+	if *cacheFile != "" && *spillEvery > 0 {
+		spillDone = make(chan struct{})
+		go func() {
+			defer close(spillDone)
+			t := time.NewTicker(*spillEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := srv.SaveCacheFile(*cacheFile); err != nil {
+						log.Printf("oscard: periodic cache spill failed: %v", err)
+					} else {
+						log.Printf("oscard: spilled %d cached executions to %s", srv.CacheEntries(), *cacheFile)
+					}
+				case <-stopSpill:
+					return
+				}
+			}
+		}()
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() {
@@ -69,6 +97,12 @@ func main() {
 		log.Fatalf("oscard: %v", err)
 	case got := <-sig:
 		log.Printf("oscard: %v, shutting down", got)
+	}
+	close(stopSpill)
+	if spillDone != nil {
+		// Wait out any in-flight periodic spill so it cannot race the
+		// final one below.
+		<-spillDone
 	}
 
 	// Stop accepting connections, let in-flight requests and jobs drain,

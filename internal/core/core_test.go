@@ -151,11 +151,14 @@ func TestSolverOptionsWorkersOnly(t *testing.T) {
 	o := Options{SamplingFraction: 0.05, Workers: 4, Solver: cs.Options{Workers: 1}}
 	want := cs.DefaultOptions()
 	want.Workers = 1
-	if got := o.solverOptions(); got != want {
+	got := o.solverOptions()
+	if got.Workers != want.Workers || !got.Continuation || !got.Debias ||
+		got.MaxIter != want.MaxIter || got.LambdaRel != want.LambdaRel ||
+		got.Tol != want.Tol || got.Method != want.Method || got.Warm != nil {
 		t.Fatalf("Workers-only Solver resolved to %+v, want DefaultOptions with Workers=1", got)
 	}
 	inherit := Options{SamplingFraction: 0.05, Workers: 3}
-	got := inherit.solverOptions()
+	got = inherit.solverOptions()
 	if got.Workers != 3 {
 		t.Fatalf("solver Workers = %d, want inherited 3", got.Workers)
 	}

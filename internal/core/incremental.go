@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cs"
+	"repro/internal/landscape"
+)
+
+// Incremental accumulates landscape samples as they stream in — batch by
+// batch from a device fleet — and re-solves the reconstruction on demand,
+// warm-starting every solve after the first from the previous solution's
+// DCT coefficients. This is the reconstruction half of eager/streaming
+// OSCAR: instead of one cold solve after the last sample lands, the solver
+// is re-triggered as coverage grows, and each re-solve starts from an
+// iterate that is already close.
+//
+// Incremental is not safe for concurrent use; the streaming loop that owns
+// it appends and solves from one goroutine.
+type Incremental struct {
+	grid       *landscape.Grid
+	rows, cols int
+	opt        Options
+
+	idx    []int
+	values []float64
+	seen   map[int]struct{}
+
+	coeffs []float64 // last solution, the next solve's warm start
+	solves int
+}
+
+// NewIncremental builds an accumulator for streaming reconstruction on g.
+// opt carries the solver configuration and worker budget; its sampling
+// fields (SamplingFraction, Seed, Stratified) are unused — the caller
+// decides what to sample and appends what was measured.
+func NewIncremental(g *landscape.Grid, opt Options) (*Incremental, error) {
+	rows, cols, err := shape2D(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{
+		grid: g,
+		rows: rows,
+		cols: cols,
+		opt:  opt,
+		seen: make(map[int]struct{}),
+	}, nil
+}
+
+// Append adds measured values at flat grid indices. Indices must be in range
+// and never repeat across appends — streamed batches partition the sampled
+// set, so a duplicate means the caller double-delivered a batch.
+func (inc *Incremental) Append(idx []int, values []float64) error {
+	if len(idx) != len(values) {
+		return fmt.Errorf("core: %d indices but %d values", len(idx), len(values))
+	}
+	n := inc.grid.Size()
+	// Validate the whole batch — including duplicates within it — before
+	// mutating anything, so a rejected append leaves the accumulator
+	// untouched.
+	batch := make(map[int]struct{}, len(idx))
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			return fmt.Errorf("core: index %d out of range [0,%d)", i, n)
+		}
+		if _, dup := inc.seen[i]; dup {
+			return fmt.Errorf("core: index %d already appended", i)
+		}
+		if _, dup := batch[i]; dup {
+			return fmt.Errorf("core: index %d repeated within the append", i)
+		}
+		batch[i] = struct{}{}
+	}
+	for _, i := range idx {
+		inc.seen[i] = struct{}{}
+	}
+	inc.idx = append(inc.idx, idx...)
+	inc.values = append(inc.values, values...)
+	return nil
+}
+
+// Samples returns the number of accumulated measurements.
+func (inc *Incremental) Samples() int { return len(inc.idx) }
+
+// Solves returns the number of completed reconstructions.
+func (inc *Incremental) Solves() int { return inc.solves }
+
+// Reconstruct solves on everything appended so far. The first solve starts
+// cold; later solves warm-start from the previous solution. Stats carries
+// the usual solver diagnostics over the current sample set.
+func (inc *Incremental) Reconstruct(ctx context.Context) (*landscape.Landscape, *Stats, error) {
+	if len(inc.idx) == 0 {
+		return nil, nil, errors.New("core: no samples")
+	}
+	opt := inc.opt.solverOptions()
+	opt.Warm = inc.coeffs
+	res, err := cs.Reconstruct2DContext(ctx, inc.rows, inc.cols, inc.idx, inc.values, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	inc.coeffs = res.Coeffs
+	inc.solves++
+	l := &landscape.Landscape{Grid: inc.grid, Data: res.X}
+	st := &Stats{
+		GridSize:         inc.grid.Size(),
+		Samples:          len(inc.idx),
+		Speedup:          float64(inc.grid.Size()) / float64(len(inc.idx)),
+		SolverIterations: res.Iterations,
+		Residual:         res.Residual,
+		Sparsity:         res.Sparsity,
+		Indices:          inc.idx,
+		Values:           inc.values,
+	}
+	return l, st, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/landscape"
+)
+
+func incrGrid(t *testing.T) *landscape.Grid {
+	t.Helper()
+	g, err := landscape.NewGrid(
+		landscape.Axis{Name: "b", Min: -1, Max: 1, N: 20},
+		landscape.Axis{Name: "g", Min: -2, Max: 2, N: 30},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func incrEval(p []float64) float64 { return p[0]*p[0] - 0.5*p[1] }
+
+// TestIncrementalMatchesOneShot streams samples in three batches with an
+// interim solve, and checks the final warm-started solve recovers the same
+// landscape (to solver tolerance) as a single cold solve on the full set.
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	g := incrGrid(t)
+	idx, err := SampleGrid(g, 0.4, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, len(idx))
+	for i, gi := range idx {
+		values[i] = incrEval(g.Point(gi))
+	}
+
+	inc, err := NewIncremental(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	third := len(idx) / 3
+	if err := inc.Append(idx[:third], values[:third]); err != nil {
+		t.Fatal(err)
+	}
+	if _, st, err := inc.Reconstruct(ctx); err != nil {
+		t.Fatal(err)
+	} else if st.Samples != third {
+		t.Fatalf("interim stats report %d samples, want %d", st.Samples, third)
+	}
+	if err := inc.Append(idx[third:2*third], values[third:2*third]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := inc.Reconstruct(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Append(idx[2*third:], values[2*third:]); err != nil {
+		t.Fatal(err)
+	}
+	streamed, st, err := inc.Reconstruct(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Solves() != 3 || st.Samples != len(idx) || inc.Samples() != len(idx) {
+		t.Fatalf("solves %d samples %d", inc.Solves(), inc.Samples())
+	}
+
+	oneShot, _, err := ReconstructFromSamples(g, idx, values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := landscape.NRMSE(oneShot.Data, streamed.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr > 1e-3 {
+		t.Fatalf("streamed reconstruction diverges from one-shot: NRMSE %g", nr)
+	}
+}
+
+// TestIncrementalDeterministic pins bit-reproducibility: the same append
+// and solve sequence yields identical bits.
+func TestIncrementalDeterministic(t *testing.T) {
+	g := incrGrid(t)
+	idx, err := SampleGrid(g, 0.3, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, len(idx))
+	for i, gi := range idx {
+		values[i] = incrEval(g.Point(gi))
+	}
+	run := func() []float64 {
+		inc, err := NewIncremental(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := len(idx) / 2
+		if err := inc.Append(idx[:half], values[:half]); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := inc.Reconstruct(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Append(idx[half:], values[half:]); err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := inc.Reconstruct(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l.Data
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streamed solve not deterministic at %d", i)
+		}
+	}
+}
+
+// TestIncrementalValidation covers append misuse and empty solves.
+func TestIncrementalValidation(t *testing.T) {
+	g := incrGrid(t)
+	inc, err := NewIncremental(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := inc.Reconstruct(context.Background()); err == nil {
+		t.Error("want error for solve with no samples")
+	}
+	if err := inc.Append([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for length mismatch")
+	}
+	if err := inc.Append([]int{-1}, []float64{0}); err == nil {
+		t.Error("want error for out-of-range index")
+	}
+	if err := inc.Append([]int{g.Size()}, []float64{0}); err == nil {
+		t.Error("want error for out-of-range index")
+	}
+	if err := inc.Append([]int{5, 6}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Append([]int{6}, []float64{3}); err == nil {
+		t.Error("want error for duplicate index across appends")
+	}
+	if err := inc.Append([]int{7, 7}, []float64{1, 1}); err == nil {
+		t.Error("want error for duplicate index within an append")
+	}
+	if inc.Samples() != 2 {
+		t.Fatalf("rejected appends mutated state: %d samples", inc.Samples())
+	}
+	// A 1-axis grid cannot reshape to 2-D.
+	g1, err := landscape.NewGrid(landscape.Axis{Name: "x", Min: 0, Max: 1, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIncremental(g1, Options{}); err == nil {
+		t.Error("want error for odd-axis grid")
+	}
+}

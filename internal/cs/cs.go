@@ -78,6 +78,14 @@ type Options struct {
 	// OMPSparsity bounds the support size for OMP. When zero it defaults
 	// to len(y)/4.
 	OMPSparsity int
+	// Warm optionally seeds the proximal solvers (FISTA/ISTA) with an
+	// initial DCT-coefficient estimate of length rows*cols — typically the
+	// previous solve of a growing sample set, the streaming-reconstruction
+	// regime. A warm start begins iteration at the target penalty instead
+	// of running the continuation schedule (continuation exists to escape
+	// the zero start, which a warm start already has). OMP ignores it.
+	// The slice is read, never written.
+	Warm []float64
 	// Workers shards the solver — the 2-D DCT row/column passes and the
 	// per-element FISTA kernels — across a worker pool: any non-positive
 	// value selects GOMAXPROCS, 1 forces the serial solver, and n > 1
@@ -103,19 +111,23 @@ func DefaultOptions() Options {
 }
 
 // WithDefaults applies the zero-value-means-DefaultOptions sentinel: an
-// Options whose only set field is Workers becomes DefaultOptions carrying
-// that worker count, so picking a pool size never silently drops the paper
-// configuration (continuation, debias). Any other set field disables the
-// promotion. Reconstruct2DContext applies it to every solve, so direct
-// calls, core.Options.Solver, and ReconstructMany jobs all follow this one
-// rule.
+// Options whose only set fields are the carry-through ones — Workers and
+// Warm — becomes DefaultOptions carrying them, so picking a pool size or
+// warm-starting never silently drops the paper configuration (continuation,
+// debias). Any other set field disables the promotion. Reconstruct2DContext
+// applies it to every solve, so direct calls, core.Options.Solver, and
+// ReconstructMany jobs all follow this one rule.
 func (o Options) WithDefaults() Options {
-	probe := o
-	probe.Workers = 0
-	if probe == (Options{}) {
-		w := o.Workers
+	// Keep the probe in sync with the field list: every non-carry-through
+	// field must be checked here, or a caller setting it would be promoted
+	// over.
+	if o.Method == FISTA && o.Lambda == 0 && o.LambdaRel == 0 &&
+		o.MaxIter == 0 && o.Tol == 0 && !o.Continuation && !o.Debias &&
+		o.OMPSparsity == 0 {
+		w, warm := o.Workers, o.Warm
 		o = DefaultOptions()
 		o.Workers = w
+		o.Warm = warm
 	}
 	return o
 }
@@ -183,6 +195,9 @@ func Reconstruct2DContext(ctx context.Context, rows, cols int, idx []int, y []fl
 	}
 	opt = opt.WithDefaults()
 	opt.fill()
+	if opt.Warm != nil && len(opt.Warm) != n {
+		return nil, fmt.Errorf("cs: warm start has %d coefficients, want %d", len(opt.Warm), n)
+	}
 	op := newPartialDCT(rows, cols, idx, opt.Workers)
 	switch opt.Method {
 	case FISTA, ISTA:
@@ -281,10 +296,17 @@ func solveProx(ctx context.Context, op *partialDCT, y []float64, opt Options) (*
 	grad := make([]float64, n)  // A^T (A z - y)
 	resid := make([]float64, m) // A z - y
 	az := make([]float64, m)
+	if opt.Warm != nil {
+		copy(s, opt.Warm)
+		copy(z, opt.Warm)
+	}
 
-	// Continuation schedule: geometric decay from a large penalty.
+	// Continuation schedule: geometric decay from a large penalty. A warm
+	// start begins near a solution already, so it iterates at the target
+	// penalty directly — re-running the schedule would shrink the warm
+	// iterate back toward zero and discard the head start.
 	lam := lambda
-	if opt.Continuation {
+	if opt.Continuation && opt.Warm == nil {
 		lam = 0.5 * maxAbs
 		if lam < lambda {
 			lam = lambda

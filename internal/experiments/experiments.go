@@ -105,6 +105,7 @@ func Registry() map[string]Generator {
 		"fig13":   Fig13,
 		"speedup": Speedup,
 		"eager":   Eager,
+		"fleet":   Fleet,
 	}
 }
 

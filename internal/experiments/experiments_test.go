@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig2", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "speedup", "eager",
+		"fig11", "fig12", "fig13", "speedup", "eager", "fleet",
 	}
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -235,6 +235,40 @@ func TestEagerShape(t *testing.T) {
 	}
 	if !strings.Contains(q90[3], "s (") {
 		t.Errorf("eager row has no time saving: %v", q90)
+	}
+}
+
+// TestFleetShape checks the fleet experiment: adaptive batching beats every
+// fixed size on mean virtual time, and no strategy destroys accuracy.
+func TestFleetShape(t *testing.T) {
+	tab, err := Fleet(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(tab.Rows))
+	}
+	times := make([]float64, len(tab.Rows))
+	for i, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("row %d virtual time %q: %v", i, row[2], err)
+		}
+		times[i] = v
+		nr, err := strconv.ParseFloat(row[5], 64)
+		if err != nil || nr > 0.5 {
+			t.Errorf("row %d NRMSE %q (err %v)", i, row[5], err)
+		}
+	}
+	adaptive := times[3]
+	for i := 0; i < 3; i++ {
+		if adaptive > times[i]*1.05 {
+			t.Errorf("adaptive virtual time %.0f worse than %s at %.0f",
+				adaptive, tab.Rows[i][0], times[i])
+		}
+	}
+	if eager := times[4]; eager > adaptive {
+		t.Errorf("eager cut %.0f slower than full wait %.0f", eager, adaptive)
 	}
 }
 

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/landscape"
+	"repro/internal/noise"
+	"repro/internal/problem"
+	"repro/internal/qpu"
+)
+
+// Fleet quantifies adaptive versus fixed batch sizing on a heterogeneous
+// 3-device fleet, extending the Eager experiment to batched execution: the
+// adaptive scheduler learns per-device batch sizes from observed
+// queue/execution ratios, streams batches into warm-started incremental
+// solves, and (last row) applies the batch-boundary eager cut to shed the
+// latency tail.
+func Fleet(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 61))
+	n := 16
+	gridB, gridG := 40, 80
+	if cfg.Quick {
+		n = 12
+		gridB, gridG = 30, 60
+	}
+	p, err := problem.Random3RegularMaxCut(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := backend.NewAnalyticQAOA(p, noise.Fig4())
+	if err != nil {
+		return nil, err
+	}
+	grid, err := qaoaGridP1(gridB, gridG)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := landscape.Generate(grid, ev.Evaluate, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// One queue-dominated, one balanced, one execution-dominated device,
+	// all with a mild heavy tail — the regime where no single fixed batch
+	// size suits every device.
+	mkDevices := func() []qpu.Device {
+		return []qpu.Device{
+			{Name: "hiq", Eval: ev, Latency: qpu.LatencyModel{QueueMedian: 120, Sigma: 0.5, Exec: 1, TailProb: 0.05, TailFactor: 10}},
+			{Name: "mid", Eval: ev, Latency: qpu.LatencyModel{QueueMedian: 30, Sigma: 0.5, Exec: 5, TailProb: 0.05, TailFactor: 10}},
+			{Name: "slow", Eval: ev, Latency: qpu.LatencyModel{QueueMedian: 10, Sigma: 0.5, Exec: 12, TailProb: 0.05, TailFactor: 10}},
+		}
+	}
+
+	t := &Table{
+		ID:    "fleet",
+		Title: "Adaptive fleet scheduling: learned per-device batch sizes vs fixed batching",
+		Headers: []string{
+			"strategy", "batches", "virtual time (s)", "speedup", "time saved", "NRMSE",
+		},
+		Notes: "3 heterogeneous QPUs (queue/exec ratios 120:1, 6:1, 0.8:1), 5% tails at 10x; " +
+			"each strategy runs one long-lived scheduler through 3 successive requests " +
+			"(calibration persists, like a service fleet); virtual times and speedups are " +
+			"means over the runs, batches and NRMSE from the last run",
+	}
+
+	const runs = 3
+	frac := 0.15
+	if cfg.Quick {
+		frac = 0.25
+	}
+	ropt := core.Options{SamplingFraction: frac, Seed: cfg.Seed, Workers: cfg.Workers}
+	run := func(label string, fopt fleet.Options) error {
+		fopt.Seed = cfg.Seed + 61
+		s, err := fleet.New(fopt, mkDevices()...)
+		if err != nil {
+			return err
+		}
+		var meanTime, meanSpeedup, meanSaved float64
+		var batches int
+		var last *fleet.StreamResult
+		for r := 0; r < runs; r++ {
+			res, err := s.ReconstructStream(nil, grid, ropt)
+			if err != nil {
+				return err
+			}
+			meanTime += res.Timeout / runs
+			meanSpeedup += res.Report.Speedup() / runs
+			meanSaved += res.Saved / runs
+			batches = len(res.Report.Batches)
+			last = res
+		}
+		nr, err := landscape.NRMSE(truth.Data, last.Landscape.Data)
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprint(batches),
+			fmt.Sprintf("%.0f", meanTime),
+			fmt.Sprintf("%.1fx", meanSpeedup),
+			fmt.Sprintf("%.0f s", meanSaved),
+			f(nr),
+		})
+		return nil
+	}
+
+	for _, k := range []int{8, 32, 128} {
+		if err := run(fmt.Sprintf("fixed batch %d", k), fleet.Options{FixedBatch: k}); err != nil {
+			return nil, err
+		}
+	}
+	if err := run("adaptive", fleet.Options{Thresholds: []float64{0.5, 0.75}}); err != nil {
+		return nil, err
+	}
+	if err := run("adaptive + eager 90%", fleet.Options{
+		Thresholds:   []float64{0.5, 0.75},
+		KeepFraction: 0.9,
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

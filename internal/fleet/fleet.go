@@ -1,0 +1,524 @@
+// Package fleet schedules landscape sampling across a heterogeneous
+// multi-QPU fleet and streams the results into an eager, incremental
+// reconstruction — the end-to-end overlap of phase 2 (circuit execution)
+// and phase 3 (reconstruction) that the paper's Section 5 speedup rests on.
+//
+// Three ideas compose:
+//
+//   - Adaptive batch sizing. qpu.RunBatched amortizes one queue delay per
+//     batch but takes the batch size as a caller-fixed argument. The fleet
+//     scheduler instead learns a per-device size online: every completed
+//     batch reports its queue/execution decomposition (the split real cloud
+//     QPUs expose through queue timestamps), the scheduler maintains an
+//     EWMA of the queue/exec-per-job ratio, and the next batch for that
+//     device carries Aggressiveness×ratio jobs — enough to amortize the
+//     queue delay without turning the device into a straggler.
+//
+//   - Streaming eager reconstruction. Completed batches feed a
+//     core.Incremental accumulator; as sample coverage crosses the
+//     configured thresholds the compressed-sensing solve is re-triggered,
+//     warm-started from the previous solution, and a batch-boundary eager
+//     cut (qpu.EagerCutBatched's policy) drops tail-latency batches
+//     entirely.
+//
+//   - A shared execution cache. With Options.Cache set, sampled points that
+//     some earlier run already measured are served instantly — before any
+//     device pays queue latency — and fresh measurements are stored for the
+//     next run, across every device in the fleet.
+//
+// Scheduling happens in virtual time (latencies are drawn from the seeded
+// per-device models; values are real evaluations), so experiments measure
+// fleet dynamics deterministically and instantly. Runs are bit-reproducible
+// for a fixed seed regardless of Options.Workers: each device draws from
+// its own RNG stream, the dispatch plan is computed serially, and completed
+// batches merge in virtual-completion order.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/landscape"
+	"repro/internal/qpu"
+)
+
+// Progress is a point-in-time view of a streaming run, delivered to
+// Options.OnProgress after every batch merged and every interim solve.
+type Progress struct {
+	// SamplesDone / SamplesTotal count measurements merged into the
+	// reconstruction accumulator versus the run's kept total.
+	SamplesDone, SamplesTotal int
+	// VirtualTime is the completion time of the latest merged batch.
+	VirtualTime float64
+	// Solves counts completed reconstructions (interim and final).
+	Solves int
+	// Residual is the last completed solve's residual (0 before the
+	// first).
+	Residual float64
+	// BatchSizes are the per-device learned batch sizes as of the latest
+	// merged batch.
+	BatchSizes []int
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Seed drives the per-device latency streams and the serial baseline.
+	// Runs are bit-reproducible given (seed, call sequence), independent
+	// of Workers.
+	Seed int64
+	// InitialBatch is the batch size every device starts from, before any
+	// latency has been observed (default 4).
+	InitialBatch int
+	// MinBatch and MaxBatch clamp the learned size (defaults 1 and 256).
+	MinBatch, MaxBatch int
+	// FixedBatch, when positive, disables adaptation and uses this size
+	// on every device — the fixed-batching baseline the experiments
+	// compare against.
+	FixedBatch int
+	// Aggressiveness scales the learned size: a device whose EWMA
+	// queue/exec-per-job ratio is r gets batches of Aggressiveness×r
+	// jobs, bounding the amortization overhead to 1/Aggressiveness of
+	// execution time (default 2).
+	Aggressiveness float64
+	// Alpha is the EWMA smoothing factor over completed-batch
+	// observations, in (0,1] (default 0.4).
+	Alpha float64
+	// Workers bounds concurrent batch evaluations during the streaming
+	// phase (0 = GOMAXPROCS). Results are bit-identical for every value.
+	Workers int
+	// Cache optionally memoizes evaluations across the whole fleet:
+	// cached points are served at virtual time zero without occupying a
+	// device, and fresh measurements are stored for later runs.
+	Cache *exec.Cache
+	// Thresholds are the coverage fractions (of the kept samples, in
+	// (0,1), ascending) at which interim reconstructions are triggered
+	// during streaming. Empty means no interim solves — only the final
+	// one.
+	Thresholds []float64
+	// KeepFraction enables the eager cut: a value q in (0,1) keeps whole
+	// batches in completion order until at least q of the samples are
+	// covered and drops the rest, trading a small sample loss for the
+	// tail-latency win. 0 or 1 waits for everything.
+	KeepFraction float64
+	// OnProgress, when set, is called from the streaming goroutine after
+	// every merged batch and interim solve.
+	OnProgress func(Progress)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.InitialBatch <= 0 {
+		o.InitialBatch = 4
+	}
+	if o.MinBatch <= 0 {
+		o.MinBatch = 1
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.MaxBatch < o.MinBatch {
+		return o, fmt.Errorf("fleet: max batch %d below min batch %d", o.MaxBatch, o.MinBatch)
+	}
+	if o.FixedBatch < 0 {
+		return o, fmt.Errorf("fleet: negative fixed batch %d", o.FixedBatch)
+	}
+	if o.Aggressiveness < 0 || math.IsNaN(o.Aggressiveness) {
+		return o, fmt.Errorf("fleet: aggressiveness %g is not a non-negative number", o.Aggressiveness)
+	}
+	if o.Aggressiveness == 0 {
+		o.Aggressiveness = 2
+	}
+	if o.Alpha < 0 || o.Alpha > 1 || math.IsNaN(o.Alpha) {
+		return o, fmt.Errorf("fleet: EWMA alpha %g out of [0,1]", o.Alpha)
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.4
+	}
+	if o.KeepFraction < 0 || o.KeepFraction > 1 || math.IsNaN(o.KeepFraction) {
+		return o, fmt.Errorf("fleet: keep fraction %g out of [0,1]", o.KeepFraction)
+	}
+	if len(o.Thresholds) > 0 {
+		ts := append([]float64(nil), o.Thresholds...)
+		sort.Float64s(ts)
+		for _, th := range ts {
+			if !(th > 0 && th < 1) {
+				return o, fmt.Errorf("fleet: coverage threshold %g out of (0,1)", th)
+			}
+		}
+		o.Thresholds = ts
+	}
+	return o, nil
+}
+
+// devState is one device's learned scheduling state.
+type devState struct {
+	rng *rand.Rand
+	// queueEst and execEst are EWMAs of the observed queue delay per
+	// batch and execution time per job; their ratio drives batch sizing
+	// and their sum drives earliest-completion-time dispatch.
+	queueEst, execEst float64
+	observed          bool
+	// batch is the size the next dispatch to this device will carry.
+	batch   int
+	batches int
+	jobs    int
+}
+
+// Scheduler dispatches sampled grid points across a device fleet with
+// adaptive per-device batch sizes.
+//
+// Like qpu.Executor, the latency streams are persistent: successive runs on
+// one scheduler continue the same seeded per-device RNGs (fresh queue
+// dynamics every run, the whole sequence deterministic given the seed), and
+// the learned batch sizes carry across runs too — a long-lived scheduler
+// keeps its calibration. Runs on one scheduler are serialized during their
+// virtual-time planning phase; use separate schedulers for independent
+// concurrent fleets.
+type Scheduler struct {
+	devices []qpu.Device
+	opt     Options
+
+	mu        sync.Mutex
+	states    []devState
+	serialRng *rand.Rand
+}
+
+// New builds a scheduler over the given devices.
+func New(opt Options, devices ...qpu.Device) (*Scheduler, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("fleet: no devices")
+	}
+	for _, d := range devices {
+		if d.Eval == nil {
+			return nil, fmt.Errorf("fleet: device %q has no evaluator", d.Name)
+		}
+		if err := d.Latency.Validate(); err != nil {
+			return nil, err
+		}
+		if d.FailureProb < 0 || d.FailureProb >= 1 {
+			return nil, fmt.Errorf("fleet: device %q failure probability %g out of [0,1)", d.Name, d.FailureProb)
+		}
+	}
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		devices:   devices,
+		opt:       opt,
+		states:    make([]devState, len(devices)),
+		serialRng: rand.New(rand.NewSource(opt.Seed - 1)),
+	}
+	first := opt.InitialBatch
+	if opt.FixedBatch > 0 {
+		first = opt.FixedBatch
+	}
+	for d := range s.states {
+		// Distinct odd-stride offsets keep the per-device streams
+		// independent of each other and of the serial baseline.
+		s.states[d] = devState{
+			rng:   rand.New(rand.NewSource(opt.Seed + int64(d+1)*0x9E3779B9)),
+			batch: first,
+		}
+	}
+	return s, nil
+}
+
+// DeviceState is one device's learned scheduling state, for inspection and
+// metrics export.
+type DeviceState struct {
+	// Name is the device name.
+	Name string
+	// BatchSize is the size the next batch for this device would carry.
+	BatchSize int
+	// Ratio is the learned EWMA queue/exec-per-job ratio (0 before any
+	// observation).
+	Ratio float64
+	// Batches and Jobs count successful dispatches so far.
+	Batches, Jobs int
+}
+
+// States returns the per-device learned state.
+func (s *Scheduler) States() []DeviceState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DeviceState, len(s.devices))
+	for d := range s.devices {
+		st := &s.states[d]
+		out[d] = DeviceState{
+			Name:      s.devices[d].Name,
+			BatchSize: st.batch,
+			Ratio:     st.ratio(),
+			Batches:   st.batches,
+			Jobs:      st.jobs,
+		}
+	}
+	return out
+}
+
+// observe folds one completed batch's latency decomposition into the
+// device's EWMAs and recomputes its next batch size.
+func (s *Scheduler) observe(st *devState, size int, queue, execT float64) {
+	if s.opt.FixedBatch > 0 {
+		return
+	}
+	perJob := execT / float64(size)
+	if st.observed {
+		a := s.opt.Alpha
+		st.queueEst = (1-a)*st.queueEst + a*queue
+		st.execEst = (1-a)*st.execEst + a*perJob
+	} else {
+		st.queueEst, st.execEst, st.observed = queue, perJob, true
+	}
+	if st.execEst <= 0 {
+		// A queue-only device (Exec = 0): amortize maximally.
+		st.batch = s.opt.MaxBatch
+		return
+	}
+	next := int(math.Round(s.opt.Aggressiveness * st.queueEst / st.execEst))
+	if next < s.opt.MinBatch {
+		next = s.opt.MinBatch
+	}
+	if next > s.opt.MaxBatch {
+		next = s.opt.MaxBatch
+	}
+	st.batch = next
+}
+
+// ratio returns the learned queue/exec-per-job ratio (0 before any
+// observation, +Inf-free: a queue-only device reports MaxBatch-driving 0
+// exec as a very large ratio capped for display).
+func (st *devState) ratio() float64 {
+	if !st.observed || st.execEst <= 0 {
+		if st.observed {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return st.queueEst / st.execEst
+}
+
+// group is one planned batch: the qpu-level record plus the grid indices it
+// carries, the values once evaluated, and a snapshot of the learned batch
+// sizes at its completion.
+type group struct {
+	qpu.BatchGroup
+	indices []int
+	values  []float64
+	sizes   []int
+}
+
+// plan runs the virtual-time scheduling simulation: cache probe, adaptive
+// list scheduling with failure rescheduling, and the single-device serial
+// baseline. It holds the scheduler lock (the RNG streams and learned sizes
+// are shared across runs) and performs no circuit evaluation.
+func (s *Scheduler) plan(g *landscape.Grid, indices []int, cache *exec.Cache) (groups []group, serial, makespan float64, retries int, err error) {
+	if len(indices) == 0 {
+		return nil, 0, 0, 0, errors.New("fleet: no jobs")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Serial baseline: the shared one-device no-batching baseline
+	// qpu.RunBatched also reports, so Speedup stays comparable.
+	const maxAttempts = 8
+	serial = qpu.SerialBaseline(s.devices[0], s.serialRng, len(indices))
+
+	// Cache probe: points an earlier run already measured are served at
+	// virtual time zero, before any device pays queue latency. Lookup
+	// counts hits and misses exactly once per point.
+	pending := indices
+	if cache != nil {
+		var hitIdx []int
+		var hitVals []float64
+		misses := make([]int, 0, len(indices))
+		for _, gi := range indices {
+			if v, ok := cache.Lookup(g.Point(gi)); ok {
+				hitIdx = append(hitIdx, gi)
+				hitVals = append(hitVals, v)
+			} else {
+				misses = append(misses, gi)
+			}
+		}
+		if len(hitIdx) > 0 {
+			groups = append(groups, group{
+				BatchGroup: qpu.BatchGroup{Device: -1, Size: len(hitIdx)},
+				indices:    hitIdx,
+				values:     hitVals,
+				sizes:      s.sizesLocked(),
+			})
+		}
+		pending = misses
+	}
+
+	free := make([]float64, len(s.devices))
+	for head := 0; head < len(pending); {
+		remaining := len(pending) - head
+		dev := s.pickLocked(free, 0, -1, remaining, 0)
+		k := s.batchFor(dev, remaining)
+		batch := pending[head : head+k]
+		head += k
+
+		avail := 0.0
+		exclude := -1
+		for attempt := 0; ; attempt++ {
+			if attempt > 0 {
+				// The failed batch keeps its size; re-pick by expected
+				// completion for exactly k jobs.
+				dev = s.pickLocked(free, avail, exclude, remaining, k)
+			}
+			st := &s.states[dev]
+			start := free[dev]
+			if avail > start {
+				start = avail
+			}
+			queue, execT := s.devices[dev].Latency.SampleBatchParts(st.rng, k)
+			done := start + queue + execT
+			free[dev] = done
+			// Failed batches still report their timing; the learner
+			// uses every observation.
+			s.observe(st, k, queue, execT)
+			if s.devices[dev].FailureProb > 0 && st.rng.Float64() < s.devices[dev].FailureProb {
+				if attempt+1 >= maxAttempts {
+					return nil, 0, 0, 0, fmt.Errorf("fleet: batch of %d jobs failed %d times in a row", k, maxAttempts)
+				}
+				retries++
+				exclude = dev
+				avail = done
+				continue
+			}
+			st.batches++
+			st.jobs += k
+			groups = append(groups, group{
+				BatchGroup: qpu.BatchGroup{
+					Device: dev, Size: k, Queue: queue, Exec: execT,
+					Start: start, Done: done,
+				},
+				indices: batch,
+				sizes:   s.sizesLocked(),
+			})
+			break
+		}
+	}
+
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].Done < groups[j].Done })
+	for _, g := range groups {
+		if g.Done > makespan {
+			makespan = g.Done
+		}
+	}
+	return groups, serial, makespan, retries, nil
+}
+
+// sizesLocked snapshots the current per-device batch sizes.
+func (s *Scheduler) sizesLocked() []int {
+	sizes := make([]int, len(s.states))
+	for d := range s.states {
+		sizes[d] = s.states[d].batch
+	}
+	return sizes
+}
+
+// batchFor resolves the batch size device d would carry with remaining jobs
+// left: the learned (or fixed) size, tapered in adaptive mode so no device
+// takes more than its learned-throughput share of what is left — the
+// guided-self-scheduling rule, weighted by observed speed, that keeps the
+// steady-state size from turning the end of a run into a single-device
+// straggler (or a huge final batch into a tail-latency hostage) without
+// starving the fastest device of its amortization.
+func (s *Scheduler) batchFor(d, remaining int) int {
+	k := s.states[d].batch
+	if s.opt.FixedBatch == 0 {
+		if share := int(math.Ceil(s.shareLocked(d) * float64(remaining))); k > share {
+			k = share
+		}
+		if k < s.opt.MinBatch {
+			k = s.opt.MinBatch
+		}
+	}
+	if k > remaining {
+		k = remaining
+	}
+	return k
+}
+
+// shareLocked estimates device d's share of the fleet's throughput from the
+// learned per-job times (execution plus amortized queue at the current batch
+// size). Unobserved devices count as an even split.
+func (s *Scheduler) shareLocked(d int) float64 {
+	perJob := func(i int) float64 {
+		st := &s.states[i]
+		if !st.observed {
+			return -1
+		}
+		k := st.batch
+		if k < 1 {
+			k = 1
+		}
+		return st.execEst + st.queueEst/float64(k)
+	}
+	mine := perJob(d)
+	if mine <= 0 {
+		return 1 / float64(len(s.devices))
+	}
+	total := 0.0
+	for i := range s.states {
+		if t := perJob(i); t > 0 {
+			total += 1 / t
+		}
+	}
+	return (1 / mine) / total
+}
+
+// pickLocked selects the device for the next batch. Adaptive mode dispatches
+// by earliest expected completion: each candidate's learned queue estimate
+// plus its batch-size-worth of learned execution time on top of when it (and
+// the work) becomes available — so a slow device stops receiving work the
+// moment a faster one would finish the same batch sooner, instead of being
+// fed by virtue of being idle. Unobserved devices count as instant, which
+// probes every device early. Fixed-batch mode keeps qpu.RunBatched's
+// earliest-free policy — it is the status-quo baseline. fixedK > 0 estimates
+// for a batch of exactly that size (failure retries, where the batch content
+// is already set); otherwise each candidate is judged by the size it would
+// itself carry. Ties go to the lowest index, keeping plans deterministic.
+func (s *Scheduler) pickLocked(free []float64, avail float64, exclude, remaining, fixedK int) int {
+	if s.opt.FixedBatch > 0 {
+		dev := -1
+		for d := range free {
+			if d == exclude && len(free) > 1 {
+				continue
+			}
+			if dev < 0 || free[d] < free[dev] {
+				dev = d
+			}
+		}
+		return dev
+	}
+	dev := -1
+	best := math.Inf(1)
+	for d := range s.devices {
+		if d == exclude && len(s.devices) > 1 {
+			continue
+		}
+		st := &s.states[d]
+		est := free[d]
+		if avail > est {
+			est = avail
+		}
+		if st.observed {
+			k := fixedK
+			if k <= 0 {
+				k = s.batchFor(d, remaining)
+			}
+			est += st.queueEst + float64(k)*st.execEst
+		}
+		if est < best {
+			dev, best = d, est
+		}
+	}
+	return dev
+}

@@ -55,12 +55,24 @@ func (m LatencyModel) Sample(rng *rand.Rand) float64 {
 // whole batch, while execution time scales with its size — the amortization
 // real cloud QPUs reward and Section 5 exploits.
 func (m LatencyModel) SampleBatch(rng *rand.Rand, jobs int) float64 {
-	queue := m.QueueMedian * math.Exp(m.Sigma*rng.NormFloat64())
-	lat := queue + m.Exec*float64(jobs)
+	queue, exec := m.SampleBatchParts(rng, jobs)
+	return queue + exec
+}
+
+// SampleBatchParts is SampleBatch with the latency decomposed into its queue
+// and execution components (both tail-scaled, so queue+exec is the total
+// latency). Real cloud QPUs report exactly this split through their queue
+// timestamps, and it is the observation adaptive schedulers learn batch
+// sizes from: the queue/execution ratio says how many jobs a batch must
+// carry before the fixed queue delay stops dominating.
+func (m LatencyModel) SampleBatchParts(rng *rand.Rand, jobs int) (queue, exec float64) {
+	queue = m.QueueMedian * math.Exp(m.Sigma*rng.NormFloat64())
+	exec = m.Exec * float64(jobs)
 	if m.TailProb > 0 && rng.Float64() < m.TailProb {
-		lat *= m.TailFactor
+		queue *= m.TailFactor
+		exec *= m.TailFactor
 	}
-	return lat
+	return queue, exec
 }
 
 // Validate checks the model parameters.
@@ -101,10 +113,31 @@ type Result struct {
 	Done float64
 }
 
+// BatchGroup records one successful batch submission: which device ran it,
+// how many jobs it carried, and the decomposition of its latency. Batch runs
+// complete in groups — every job in a group shares one completion time — so
+// group boundaries are the natural cut points for eager reconstruction.
+type BatchGroup struct {
+	// Device is the index of the device that ran the batch, or -1 for a
+	// group served instantly from a shared execution cache.
+	Device int
+	// Size is the number of jobs the batch carried.
+	Size int
+	// Queue and Exec decompose the batch latency (both tail-scaled);
+	// Queue/ (Exec/Size) is the ratio adaptive batch sizing learns from.
+	Queue, Exec float64
+	// Start and Done are the virtual submission and completion times.
+	Start, Done float64
+}
+
 // RunReport summarizes a parallel run.
 type RunReport struct {
 	// Results lists all completed jobs sorted by completion time.
 	Results []Result
+	// Batches lists the successful batch submissions sorted by completion
+	// time (nil for single-job runs). Failed attempts are counted in
+	// Retries but not recorded here.
+	Batches []BatchGroup
 	// Makespan is the virtual time at which the last job finished.
 	Makespan float64
 	// SerialTime is the virtual time a single reference device would
@@ -122,6 +155,29 @@ func (r *RunReport) Speedup() float64 {
 		return math.Inf(1)
 	}
 	return r.SerialTime / r.Makespan
+}
+
+// maxAttempts caps how often one job or batch may fail in a row before the
+// run is abandoned.
+const maxAttempts = 8
+
+// SerialBaseline draws the virtual time a single device needs to run jobs
+// submitted individually, back to back, with failed submissions retried (and
+// paid for) on that same device. It is the shared one-device no-batching
+// baseline both Executor.RunBatched and the fleet scheduler report as
+// SerialTime, so their Speedup figures stay comparable; it advances rng by
+// the same draw sequence wherever it is used.
+func SerialBaseline(d Device, rng *rand.Rand, jobs int) float64 {
+	var serial float64
+	for i := 0; i < jobs; i++ {
+		for attempt := 0; ; attempt++ {
+			serial += d.Latency.Sample(rng)
+			if d.FailureProb <= 0 || rng.Float64() >= d.FailureProb || attempt+1 >= maxAttempts {
+				break
+			}
+		}
+	}
+	return serial
 }
 
 // Executor schedules jobs across devices in virtual time.
@@ -187,7 +243,6 @@ func (e *Executor) Run(g *landscape.Grid, indices []int) (*RunReport, error) {
 	var serial float64
 
 	retries := 0
-	const maxAttempts = 8
 	for _, idx := range indices {
 		var (
 			done    float64
@@ -275,9 +330,9 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 	free := make([]float64, len(e.devices))
 	perDevice := make([]int, len(e.devices))
 	results := make([]Result, 0, len(indices))
+	batches := make([]BatchGroup, 0, (len(indices)+batchSize-1)/batchSize)
 	var serial float64
 	retries := 0
-	const maxAttempts = 8
 
 	evals := make([]exec.BatchEvaluator, len(e.devices))
 	for d := range e.devices {
@@ -294,14 +349,7 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 			hi = len(indices)
 		}
 		batch := indices[lo:hi]
-		for range batch {
-			for attempt := 0; ; attempt++ {
-				serial += ref.Latency.Sample(serialRng)
-				if ref.FailureProb <= 0 || serialRng.Float64() >= ref.FailureProb || attempt+1 >= maxAttempts {
-					break
-				}
-			}
-		}
+		serial += SerialBaseline(ref, serialRng, len(batch))
 		var (
 			done    float64
 			dev     int
@@ -317,8 +365,9 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 					dev = d
 				}
 			}
-			lat := e.devices[dev].Latency.SampleBatch(rng, len(batch))
-			free[dev] += lat
+			start := free[dev]
+			queue, execT := e.devices[dev].Latency.SampleBatchParts(rng, len(batch))
+			free[dev] += queue + execT
 			if e.devices[dev].FailureProb > 0 && rng.Float64() < e.devices[dev].FailureProb {
 				if attempt+1 >= maxAttempts {
 					return nil, fmt.Errorf("qpu: batch [%d,%d) failed %d times in a row", lo, hi, maxAttempts)
@@ -328,6 +377,10 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 				continue
 			}
 			done = free[dev]
+			batches = append(batches, BatchGroup{
+				Device: dev, Size: len(batch), Queue: queue, Exec: execT,
+				Start: start, Done: done,
+			})
 			break
 		}
 		values, err := evals[dev].EvaluateBatch(ctx, g.Points(batch))
@@ -340,6 +393,7 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 		}
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Done < results[j].Done })
+	sort.SliceStable(batches, func(i, j int) bool { return batches[i].Done < batches[j].Done })
 	makespan := 0.0
 	for _, f := range free {
 		if f > makespan {
@@ -348,6 +402,7 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 	}
 	return &RunReport{
 		Results:    results,
+		Batches:    batches,
 		Makespan:   makespan,
 		SerialTime: serial,
 		PerDevice:  perDevice,
@@ -386,6 +441,53 @@ func TimeoutForFraction(rep *RunReport, q float64) float64 {
 		k = 1
 	}
 	return rep.Results[k-1].Done
+}
+
+// BatchTimeoutForFraction returns the batch-boundary soft timeout that keeps
+// at least a fraction q of the jobs carried by the given batch groups: groups
+// are taken in completion order until their cumulative size covers q of the
+// jobs, and the completion time of the last included group is the timeout.
+// Batch runs deliver results in groups, so cutting anywhere else would pay a
+// group's full latency and then discard part of its samples.
+func BatchTimeoutForFraction(batches []BatchGroup, q float64) float64 {
+	total := 0
+	for _, b := range batches {
+		total += b.Size
+	}
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	sorted := append([]BatchGroup(nil), batches...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Done < sorted[j].Done })
+	if q > 1 {
+		q = 1
+	}
+	need := int(math.Ceil(q * float64(total)))
+	covered := 0
+	for _, b := range sorted {
+		covered += b.Size
+		if covered >= need {
+			return b.Done
+		}
+	}
+	return sorted[len(sorted)-1].Done
+}
+
+// EagerCutBatched is EagerCut with the cut placed at a batch boundary: the
+// soft timeout is the BatchTimeoutForFraction(q) quantile over the report's
+// batch groups, so whole groups are kept or dropped and no partially-paid
+// batch is split. Reports without batch records (single-job runs) degrade to
+// the per-job quantile policy of TimeoutForFraction. It returns the kept
+// results, the effective timeout, and the time saved versus waiting for the
+// full run.
+func EagerCutBatched(rep *RunReport, q float64) (kept []Result, timeout, saved float64) {
+	if len(rep.Batches) > 0 {
+		timeout = BatchTimeoutForFraction(rep.Batches, q)
+	} else {
+		timeout = TimeoutForFraction(rep, q)
+	}
+	kept, saved = EagerCut(rep, timeout)
+	return kept, timeout, saved
 }
 
 // SplitIndices partitions sampled indices between two devices with the

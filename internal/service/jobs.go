@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fleet"
 	"repro/internal/landscape"
 )
 
@@ -44,6 +45,43 @@ type Job struct {
 	done   chan struct{}
 
 	result *JobResult
+	// progress carries a fleet job's latest streaming state while it runs
+	// (nil for non-fleet jobs); GET /jobs/{id} reports it, so clients see
+	// partial results before completion.
+	progress *FleetProgress
+}
+
+// FleetProgress is the progressive partial-result view of a running fleet
+// job.
+type FleetProgress struct {
+	// SamplesDone / SamplesTotal count measurements merged into the
+	// streaming reconstruction.
+	SamplesDone  int `json:"samples_done"`
+	SamplesTotal int `json:"samples_total"`
+	// VirtualTime is the fleet's simulated clock at the latest merged
+	// batch.
+	VirtualTime float64 `json:"virtual_time_s"`
+	// Solves counts completed interim reconstructions; Residual is the
+	// latest one's residual.
+	Solves   int       `json:"solves"`
+	Residual jsonFloat `json:"residual"`
+	// Devices maps device names to their learned batch sizes.
+	Devices map[string]int `json:"batch_sizes"`
+}
+
+// FleetResult summarizes fleet execution in a finished job's result.
+type FleetResult struct {
+	Makespan   jsonFloat      `json:"makespan_s"`
+	SerialTime jsonFloat      `json:"serial_time_s"`
+	Speedup    jsonFloat      `json:"speedup"`
+	Retries    int            `json:"retries"`
+	Batches    int            `json:"batches"`
+	CacheHits  int            `json:"cache_served"`
+	Timeout    jsonFloat      `json:"timeout_s"`
+	Saved      jsonFloat      `json:"saved_s"`
+	Solves     int            `json:"solves"`
+	BatchSizes map[string]int `json:"batch_sizes"`
+	PerDevice  map[string]int `json:"jobs_per_device"`
 }
 
 // JobResult is the outcome of a finished job.
@@ -74,6 +112,9 @@ type JobResult struct {
 	// jobs on one cache interleave their accounting).
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+
+	// Fleet summarizes fleet-mode execution (nil for plain jobs).
+	Fleet *FleetResult `json:"fleet,omitempty"`
 }
 
 // panicError marks a recovered internal panic (HTTP 500).
@@ -119,16 +160,88 @@ func (s *Server) execute(ctx context.Context, j *Job) (res *JobResult, err error
 	}()
 	opt := j.built.opts
 	opt.Workers = s.cfg.JobWorkers
-	opt.Cache = j.cache
 	var h0, m0 int64
 	if j.cache != nil {
 		h0, m0 = j.cache.Hits(), j.cache.Misses()
 	}
+	if j.built.fleetOpts != nil {
+		return s.executeFleet(ctx, j, opt, h0, m0)
+	}
+	opt.Cache = j.cache
 	recon, stats, err := core.ReconstructBatch(ctx, j.built.grid, j.built.eval, opt)
 	if err != nil {
 		return nil, err
 	}
 	return s.buildResult(j, recon, stats, h0, m0), nil
+}
+
+// executeFleet runs a fleet-mode job: sampling dispatched across the virtual
+// device fleet, streamed into the incremental reconstruction, with progress
+// published for GET polling.
+func (s *Server) executeFleet(ctx context.Context, j *Job, opt core.Options, h0, m0 int64) (*JobResult, error) {
+	names := make([]string, len(j.built.fleetDevices))
+	for i, d := range j.built.fleetDevices {
+		names[i] = d.Name
+	}
+	fopt := *j.built.fleetOpts
+	fopt.Workers = s.cfg.JobWorkers
+	fopt.Cache = j.cache
+	fopt.OnProgress = func(p fleet.Progress) {
+		sizes := make(map[string]int, len(p.BatchSizes))
+		for i, b := range p.BatchSizes {
+			if i < len(names) {
+				sizes[names[i]] = b
+			}
+		}
+		s.mu.Lock()
+		j.progress = &FleetProgress{
+			SamplesDone:  p.SamplesDone,
+			SamplesTotal: p.SamplesTotal,
+			VirtualTime:  p.VirtualTime,
+			Solves:       p.Solves,
+			Residual:     jsonFloat(p.Residual),
+			Devices:      sizes,
+		}
+		s.mu.Unlock()
+	}
+	sch, err := fleet.New(fopt, j.built.fleetDevices...)
+	if err != nil {
+		return nil, err
+	}
+	sres, err := sch.ReconstructStream(ctx, j.built.grid, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := s.buildResult(j, sres.Landscape, sres.Stats, h0, m0)
+	sizes := make(map[string]int, len(names))
+	for i, b := range sres.BatchSizes {
+		if i < len(names) {
+			sizes[names[i]] = b
+		}
+	}
+	perDevice := make(map[string]int, len(names))
+	cacheServed := 0
+	for _, r := range sres.Report.Results {
+		if r.Device < 0 {
+			cacheServed++
+		} else if r.Device < len(names) {
+			perDevice[names[r.Device]]++
+		}
+	}
+	res.Fleet = &FleetResult{
+		Makespan:   jsonFloat(sres.Report.Makespan),
+		SerialTime: jsonFloat(sres.Report.SerialTime),
+		Speedup:    jsonFloat(sres.Report.Speedup()),
+		Retries:    sres.Report.Retries,
+		Batches:    len(sres.Report.Batches),
+		CacheHits:  cacheServed,
+		Timeout:    jsonFloat(sres.Timeout),
+		Saved:      jsonFloat(sres.Saved),
+		Solves:     len(sres.Partials) + 1,
+		BatchSizes: sizes,
+		PerDevice:  perDevice,
+	}
+	return res, nil
 }
 
 func (s *Server) buildResult(j *Job, recon *landscape.Landscape, stats *core.Stats, h0, m0 int64) *JobResult {
@@ -168,6 +281,9 @@ func (s *Server) finishJob(j *Job, res *JobResult, err error) {
 		return
 	}
 	j.finished = time.Now()
+	// Progress is a live-streaming view; a finished job (including failed
+	// or canceled fleet jobs) must stop reporting it on GET and /metrics.
+	j.progress = nil
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -195,14 +311,17 @@ func (s *Server) finishJob(j *Job, res *JobResult, err error) {
 
 // jobJSON is the wire form of a job.
 type jobJSON struct {
-	ID        string     `json:"id"`
-	Tag       string     `json:"tag,omitempty"`
-	State     JobState   `json:"state"`
-	Error     string     `json:"error,omitempty"`
-	Submitted time.Time  `json:"submitted"`
-	QueueMS   int64      `json:"queue_ms"`
-	RunMS     int64      `json:"run_ms"`
-	Result    *JobResult `json:"result,omitempty"`
+	ID        string    `json:"id"`
+	Tag       string    `json:"tag,omitempty"`
+	State     JobState  `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	QueueMS   int64     `json:"queue_ms"`
+	RunMS     int64     `json:"run_ms"`
+	// Progress reports a running fleet job's streaming state — partial
+	// results before the job finishes.
+	Progress *FleetProgress `json:"progress,omitempty"`
+	Result   *JobResult     `json:"result,omitempty"`
 }
 
 // view renders a job under the server lock.
@@ -231,5 +350,8 @@ func (j *Job) view(now time.Time) jobJSON {
 		v.RunMS = end.Sub(j.started).Milliseconds()
 	}
 	v.Result = j.result
+	if j.result == nil {
+		v.Progress = j.progress
+	}
 	return v
 }

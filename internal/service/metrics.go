@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// handleMetrics exports server state in the Prometheus text exposition
+// format (version 0.0.4) — hand-rolled, no client library dependency. It
+// covers job states, the execution-cache counters, and per-device learned
+// batch-size gauges of running fleet jobs, so a scraper watches adaptation
+// happen.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	type fleetRow struct {
+		job      string
+		progress FleetProgress
+	}
+	s.mu.Lock()
+	counts := map[JobState]int{}
+	var fleets []fleetRow
+	for _, id := range s.order {
+		j := s.jobs[id]
+		counts[j.state]++
+		if j.progress != nil && j.state == StateRunning {
+			fleets = append(fleets, fleetRow{job: id, progress: *j.progress})
+		}
+	}
+	var hits, misses int64
+	entries := 0
+	configs := len(s.caches)
+	for _, c := range s.caches {
+		hits += c.Hits()
+		misses += c.Misses()
+		entries += c.Len()
+	}
+	s.mu.Unlock()
+
+	var b strings.Builder
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+
+	gauge("oscard_uptime_seconds", "Seconds since the server started.")
+	fmt.Fprintf(&b, "oscard_uptime_seconds %g\n", time.Since(s.start).Seconds())
+
+	gauge("oscard_jobs", "Jobs currently tracked, by state.")
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(&b, "oscard_jobs{state=%q} %d\n", st, counts[st])
+	}
+
+	counter("oscard_panics_total", "Recovered internal panics.")
+	fmt.Fprintf(&b, "oscard_panics_total %d\n", s.panics.Load())
+
+	counter("oscard_cache_hits_total", "Execution-cache lookups served without running a circuit.")
+	fmt.Fprintf(&b, "oscard_cache_hits_total %d\n", hits)
+	counter("oscard_cache_misses_total", "Execution-cache lookups that fell through to execution.")
+	fmt.Fprintf(&b, "oscard_cache_misses_total %d\n", misses)
+	gauge("oscard_cache_entries", "Memoized circuit executions across all device configurations.")
+	fmt.Fprintf(&b, "oscard_cache_entries %d\n", entries)
+	gauge("oscard_cache_configs", "Distinct device configurations holding a cache.")
+	fmt.Fprintf(&b, "oscard_cache_configs %d\n", configs)
+
+	gauge("oscard_fleet_batch_size", "Learned per-device batch size of running fleet jobs.")
+	gauge("oscard_fleet_samples_done", "Samples merged into the streaming reconstruction.")
+	gauge("oscard_fleet_samples_total", "Samples a running fleet job will merge in total.")
+	gauge("oscard_fleet_solves", "Interim reconstructions completed by a running fleet job.")
+	for _, f := range fleets {
+		devices := make([]string, 0, len(f.progress.Devices))
+		for d := range f.progress.Devices {
+			devices = append(devices, d)
+		}
+		sort.Strings(devices)
+		job := promLabel(f.job)
+		for _, d := range devices {
+			fmt.Fprintf(&b, "oscard_fleet_batch_size{job=\"%s\",device=\"%s\"} %d\n",
+				job, promLabel(d), f.progress.Devices[d])
+		}
+		fmt.Fprintf(&b, "oscard_fleet_samples_done{job=\"%s\"} %d\n", job, f.progress.SamplesDone)
+		fmt.Fprintf(&b, "oscard_fleet_samples_total{job=\"%s\"} %d\n", job, f.progress.SamplesTotal)
+		fmt.Fprintf(&b, "oscard_fleet_solves{job=\"%s\"} %d\n", job, f.progress.Solves)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// promLabel escapes a label value for the Prometheus text format, which
+// permits exactly three escape sequences inside quoted values: \\, \", and
+// \n. Go's %q would emit \t, \xNN, and \uNNNN forms that parsers reject, so
+// the value is built by hand; other control characters (user-supplied device
+// names are arbitrary JSON strings) are replaced with spaces.
+func promLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch {
+		case r == '\\':
+			b.WriteString(`\\`)
+		case r == '"':
+			b.WriteString(`\"`)
+		case r == '\n':
+			b.WriteString(`\n`)
+		case r < 0x20 || r == 0x7f:
+			b.WriteByte(' ')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -15,7 +15,14 @@
 //	DELETE /jobs/{id} cancel a queued or running job
 //	GET    /stats     cache hit/miss/size per device configuration,
 //	                  job counts, per-job timings, recovered panics
+//	GET    /metrics   Prometheus text-format export: job states, cache
+//	                  counters, learned fleet batch-size gauges
 //	GET    /healthz   liveness probe
+//
+// Jobs carrying a "fleet" block run in fleet mode: sampling is dispatched
+// across a list of virtual devices with adaptive batch sizing
+// (internal/fleet) and streamed into an incremental reconstruction; polling
+// such a job while it runs returns progressive partial results.
 //
 // Every job runs under its own context.Context: client disconnects (for
 // wait-mode submissions), DELETE, and server shutdown all cancel the solve
@@ -130,6 +137,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})

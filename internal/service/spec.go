@@ -12,19 +12,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/cs"
 	"repro/internal/exec"
+	"repro/internal/fleet"
 	"repro/internal/landscape"
 	"repro/internal/noise"
 	"repro/internal/problem"
+	"repro/internal/qpu"
 )
 
 // JobSpec is the JSON body of a reconstruction job: which problem to build,
 // which simulated device to run it on, the parameter grid, and the OSCAR
-// sampling/solver options.
+// sampling/solver options. A Fleet block switches the job into fleet mode:
+// sampling is dispatched across the listed virtual devices with adaptive
+// batch sizing and streamed into an incremental reconstruction, and polling
+// the job reports progressive partial results.
 type JobSpec struct {
 	Problem ProblemSpec `json:"problem"`
 	Backend BackendSpec `json:"backend"`
 	Grid    GridSpec    `json:"grid"`
 	Options OptionsSpec `json:"options"`
+	Fleet   *FleetSpec  `json:"fleet,omitempty"`
 
 	// Wait, when true, keeps the HTTP request open until the job finishes
 	// and returns the result inline; closing the connection cancels the
@@ -120,6 +126,44 @@ type OptionsSpec struct {
 	Solver *SolverSpec `json:"solver,omitempty"`
 }
 
+// FleetDeviceSpec is one virtual device in a fleet job: its latency model
+// and failure probability. Every device runs the job's backend evaluator —
+// the fleet models where circuits run, not what they compute.
+type FleetDeviceSpec struct {
+	Name string `json:"name,omitempty"`
+	// QueueMedian, Sigma, Exec, TailProb, TailFactor parameterize the
+	// lognormal + heavy-tail latency model (see qpu.LatencyModel).
+	QueueMedian float64 `json:"queue_median"`
+	Sigma       float64 `json:"sigma,omitempty"`
+	Exec        float64 `json:"exec,omitempty"`
+	TailProb    float64 `json:"tail_prob,omitempty"`
+	TailFactor  float64 `json:"tail_factor,omitempty"`
+	FailureProb float64 `json:"failure_prob,omitempty"`
+}
+
+// FleetSpec configures fleet-mode execution of a job.
+type FleetSpec struct {
+	// Devices lists the virtual QPUs (at least one, at most 32).
+	Devices []FleetDeviceSpec `json:"devices"`
+	// Seed drives the per-device latency streams (default: the job's
+	// sampling seed).
+	Seed int64 `json:"seed,omitempty"`
+	// InitialBatch, MinBatch, MaxBatch, Aggressiveness, Alpha tune the
+	// adaptive batch sizing (zero = fleet defaults); FixedBatch disables
+	// adaptation and pins every device to that size.
+	InitialBatch   int     `json:"initial_batch,omitempty"`
+	MinBatch       int     `json:"min_batch,omitempty"`
+	MaxBatch       int     `json:"max_batch,omitempty"`
+	FixedBatch     int     `json:"fixed_batch,omitempty"`
+	Aggressiveness float64 `json:"aggressiveness,omitempty"`
+	Alpha          float64 `json:"alpha,omitempty"`
+	// Thresholds are coverage fractions in (0,1) at which interim
+	// reconstructions run during streaming (default 0.5 and 0.75).
+	Thresholds []float64 `json:"thresholds,omitempty"`
+	// KeepFraction in (0,1) applies the batch-boundary eager cut.
+	KeepFraction float64 `json:"keep_fraction,omitempty"`
+}
+
 // specError marks a client-side job specification problem (HTTP 400).
 type specError struct{ msg string }
 
@@ -141,6 +185,10 @@ type builtJob struct {
 	// one cache and differently-configured jobs never alias.
 	configKey string
 	qubits    int
+	// fleetDevices and fleetOpts are set for fleet-mode jobs; the
+	// scheduler itself is built per run (it owns mutable RNG streams).
+	fleetDevices []qpu.Device
+	fleetOpts    *fleet.Options
 }
 
 // normalize fills spec defaults in place so equivalent specs canonicalize to
@@ -349,6 +397,71 @@ func buildSolver(ss *SolverSpec) (cs.Options, error) {
 	return opt, nil
 }
 
+// maxFleetDevices bounds the device list of a fleet job.
+const maxFleetDevices = 32
+
+// buildFleet validates a FleetSpec and assembles the device list and
+// scheduler options (sans the server-owned cache and progress hook).
+func buildFleet(fs *FleetSpec, eval backend.Evaluator, samplingSeed int64) ([]qpu.Device, *fleet.Options, error) {
+	if len(fs.Devices) == 0 {
+		return nil, nil, specErrorf("fleet: needs at least one device")
+	}
+	if len(fs.Devices) > maxFleetDevices {
+		return nil, nil, specErrorf("fleet: %d devices exceeds the limit of %d", len(fs.Devices), maxFleetDevices)
+	}
+	devices := make([]qpu.Device, len(fs.Devices))
+	seen := make(map[string]struct{}, len(fs.Devices))
+	for i, ds := range fs.Devices {
+		name := ds.Name
+		if name == "" {
+			name = fmt.Sprintf("qpu-%d", i)
+		}
+		// Names key the result's batch_sizes/jobs_per_device maps and the
+		// /metrics gauges; duplicates would silently collapse entries.
+		if _, dup := seen[name]; dup {
+			return nil, nil, specErrorf("fleet: duplicate device name %q", name)
+		}
+		seen[name] = struct{}{}
+		devices[i] = qpu.Device{
+			Name: name,
+			Eval: eval,
+			Latency: qpu.LatencyModel{
+				QueueMedian: ds.QueueMedian,
+				Sigma:       ds.Sigma,
+				Exec:        ds.Exec,
+				TailProb:    ds.TailProb,
+				TailFactor:  ds.TailFactor,
+			},
+			FailureProb: ds.FailureProb,
+		}
+	}
+	seed := fs.Seed
+	if seed == 0 {
+		seed = samplingSeed
+	}
+	thresholds := fs.Thresholds
+	if thresholds == nil {
+		thresholds = []float64{0.5, 0.75}
+	}
+	opts := &fleet.Options{
+		Seed:           seed,
+		InitialBatch:   fs.InitialBatch,
+		MinBatch:       fs.MinBatch,
+		MaxBatch:       fs.MaxBatch,
+		FixedBatch:     fs.FixedBatch,
+		Aggressiveness: fs.Aggressiveness,
+		Alpha:          fs.Alpha,
+		Thresholds:     thresholds,
+		KeepFraction:   fs.KeepFraction,
+	}
+	// Dry-build a scheduler so every option and latency-model rejection
+	// surfaces at submission as a 400, not at run time.
+	if _, err := fleet.New(*opts, devices...); err != nil {
+		return nil, nil, &specError{msg: err.Error()}
+	}
+	return devices, opts, nil
+}
+
 // buildJob validates a spec against the server limits and assembles the
 // executable job. All validation errors are *specError (HTTP 400).
 func buildJob(spec *JobSpec, cfg Config) (*builtJob, error) {
@@ -383,7 +496,7 @@ func buildJob(spec *JobSpec, cfg Config) (*builtJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &builtJob{
+	built := &builtJob{
 		grid: grid,
 		eval: exec.FromEvaluator(eval),
 		opts: core.Options{
@@ -395,5 +508,12 @@ func buildJob(spec *JobSpec, cfg Config) (*builtJob, error) {
 		cacheable: spec.Backend.Shots == 0,
 		configKey: string(key),
 		qubits:    prob.N(),
-	}, nil
+	}
+	if spec.Fleet != nil {
+		built.fleetDevices, built.fleetOpts, err = buildFleet(spec.Fleet, eval, spec.Options.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return built, nil
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cs"
 	"repro/internal/exec"
+	"repro/internal/fleet"
 	"repro/internal/interp"
 	"repro/internal/landscape"
 	"repro/internal/mitigation"
@@ -351,6 +352,43 @@ type Device = qpu.Device
 
 // DefaultLatency is a cloud-QPU-like latency model.
 func DefaultLatency() qpu.LatencyModel { return qpu.DefaultLatency() }
+
+// Fleet scheduling. The fleet scheduler dispatches landscape sampling across
+// a heterogeneous device fleet, learning per-device batch sizes online from
+// observed queue/execution latency ratios, and streams completed batches
+// into an incremental, warm-started reconstruction with an optional
+// batch-boundary eager cut. Runs are bit-reproducible for a fixed seed
+// across worker counts.
+type (
+	// FleetScheduler dispatches sampling across devices with adaptive
+	// batch sizes.
+	FleetScheduler = fleet.Scheduler
+	// FleetOptions configures adaptation, streaming thresholds, the eager
+	// cut, and the shared execution cache.
+	FleetOptions = fleet.Options
+	// FleetStreamResult is the outcome of a streaming fleet run.
+	FleetStreamResult = fleet.StreamResult
+	// FleetProgress is the live view passed to OnProgress.
+	FleetProgress = fleet.Progress
+	// FleetDeviceState is one device's learned scheduling state.
+	FleetDeviceState = fleet.DeviceState
+	// BatchGroup records one batch submission's latency decomposition and
+	// completion time.
+	BatchGroup = qpu.BatchGroup
+)
+
+// NewFleet builds an adaptive fleet scheduler over the given devices.
+func NewFleet(opt FleetOptions, devices ...Device) (*FleetScheduler, error) {
+	return fleet.New(opt, devices...)
+}
+
+// EagerCutBatched cuts a run report at a batch boundary: the quantile
+// timeout is taken over whole batch groups, so no partially-paid batch is
+// split. It returns the kept results, the effective timeout, and the time
+// saved versus waiting out the full run.
+func EagerCutBatched(rep *qpu.RunReport, q float64) (kept []qpu.Result, timeout, saved float64) {
+	return qpu.EagerCutBatched(rep, q)
+}
 
 // ClampAngle wraps an angle into [-pi, pi], a convenience for initial
 // points produced by optimizers.
