@@ -687,3 +687,70 @@ func BenchmarkReconstruct5000(b *testing.B) {
 	}
 	b.ReportMetric(last, "nrmse")
 }
+
+// BenchmarkFusedCostLayer records the diagonal-fusion win on the paper's two
+// 12-qubit MaxCut shapes: the |E|=18 3-regular graph and the |E|=66
+// complete (SK) graph. Both legs sweep the full 50x100 Table 1 grid through
+// the statevector batch path on one worker; "edge-by-edge" forces the
+// pre-fusion kernels (one RZZ sweep per edge per point), "fused" runs each
+// cost layer as a single phase-table pass, so the ns/op ratio is the
+// integer-factor speedup claimed in the README — larger for denser graphs
+// because the fused cost no longer scales with |E|.
+func BenchmarkFusedCostLayer(b *testing.B) {
+	rng := rand.New(rand.NewSource(79))
+	reg, err := problem.Random3RegularMaxCut(12, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	skGraph, err := graph.SK(12, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk, err := problem.MaxCut("sk-12", skGraph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := QAOAGrid(1, 50, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := grid.AllPoints()
+	for _, tc := range []struct {
+		name string
+		prob *problem.Problem
+	}{
+		{"3reg18", reg},
+		{"complete66", sk},
+	} {
+		a, err := QAOAAnsatz(tc.prob, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, leg := range []struct {
+			name string
+			opts []backend.Option
+		}{
+			{"edge-by-edge", []backend.Option{backend.WithoutDiagonalFusion()}},
+			{"fused", nil},
+		} {
+			b.Run(tc.name+"/"+leg.name, func(b *testing.B) {
+				sv, err := backend.NewStateVector(tc.prob, a, leg.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sv.SetWorkers(1)
+				if _, err := sv.EvaluateBatch(context.Background(), pts); err != nil {
+					b.Fatal(err) // warm the scratch pool and table caches
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sv.EvaluateBatch(context.Background(), pts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(pts)), "ns/point")
+			})
+		}
+	}
+}

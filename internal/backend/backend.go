@@ -104,22 +104,54 @@ func shardRange(ctx context.Context, workers, n int, fn func(ctx context.Context
 	return firstErr
 }
 
+// Option tunes evaluator construction.
+type Option func(*evalOptions)
+
+type evalOptions struct {
+	noFusion bool
+}
+
+// WithoutDiagonalFusion disables the automatic FuseDiagonals pass on the
+// ansatz circuit, forcing edge-by-edge gate kernels. This is the debugging
+// escape hatch for isolating fusion from a numerical question (fused runs
+// agree with unfused to phase rounding, ~1e-15 per gate, not bit-for-bit)
+// and the baseline leg of the fused-vs-unfused benchmarks.
+func WithoutDiagonalFusion() Option {
+	return func(o *evalOptions) { o.noFusion = true }
+}
+
+func applyOptions(opts []Option) evalOptions {
+	var o evalOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
 // StateVector is the exact (infinite-shot) ideal evaluator. It re-runs the
 // ansatz circuit into pooled scratch states (zero allocations per point in
 // steady state) and, for diagonal Hamiltonians (MaxCut, SK), evaluates the
 // cost as one fused |amp|^2 * E pass over the problem's precomputed energy
 // table instead of one full-state pass per Hamiltonian term.
+//
+// The circuit itself is run through qsim's diagonal-fusion pass at
+// construction (see Circuit.FuseDiagonals): every QAOA cost layer becomes
+// one O(2^n) phase-table sweep instead of one kernel sweep per edge, and —
+// because FuseDiagonals is memoized on the circuit and the pass interns
+// tables by content — all evaluators sharing the ansatz, all p layers, and
+// every gamma on a landscape grid share the same table.
 type StateVector struct {
 	name    string
 	prob    *problem.Problem
 	ans     *ansatz.Ansatz
-	diag    []float64 // cached diagonal energy table; nil for off-diagonal H
+	circ    *qsim.Circuit // ansatz circuit, diagonal-fused unless opted out
+	diag    []float64     // cached diagonal energy table; nil for off-diagonal H
 	workers int
 	pool    sync.Pool // *qsim.State scratch, one live per concurrent shard
 }
 
 // NewStateVector builds an exact evaluator for an ansatz on a problem.
-func NewStateVector(p *problem.Problem, a *ansatz.Ansatz) (*StateVector, error) {
+func NewStateVector(p *problem.Problem, a *ansatz.Ansatz, opts ...Option) (*StateVector, error) {
 	if p.N() != a.Circuit.N() {
 		return nil, fmt.Errorf("backend: %d-qubit ansatz for %d-qubit problem", a.Circuit.N(), p.N())
 	}
@@ -127,7 +159,11 @@ func NewStateVector(p *problem.Problem, a *ansatz.Ansatz) (*StateVector, error) 
 		name:    fmt.Sprintf("sv(%s,%s)", p.Name, a.Name),
 		prob:    p,
 		ans:     a,
+		circ:    a.Circuit,
 		workers: 1,
+	}
+	if !applyOptions(opts).noFusion {
+		e.circ = a.Circuit.FuseDiagonals()
 	}
 	if p.Hamiltonian.IsDiagonal() {
 		diag, err := p.DiagonalTable()
@@ -181,7 +217,7 @@ func resolveWorkers(configured, n int, kernelShardable bool) (points, kernels in
 // evaluateInto runs the circuit into the reused scratch state and measures
 // the cost, allocating nothing.
 func (e *StateVector) evaluateInto(s *qsim.State, params []float64) (float64, error) {
-	if err := qsim.RunInto(s, e.ans.Circuit, params); err != nil {
+	if err := qsim.RunInto(s, e.circ, params); err != nil {
 		return 0, err
 	}
 	if e.diag != nil {
@@ -240,6 +276,7 @@ type Density struct {
 	name    string
 	prob    *problem.Problem
 	ans     *ansatz.Ansatz
+	circ    *qsim.Circuit // ansatz circuit, fused only when gate noise is off
 	profile noise.Profile
 	hook    func(d *qsim.DensityMatrix, g qsim.Gate) error
 	diag    []float64 // cached diagonal energy table; nil for off-diagonal H
@@ -248,7 +285,12 @@ type Density struct {
 }
 
 // NewDensity builds an exact noisy evaluator.
-func NewDensity(p *problem.Problem, a *ansatz.Ansatz, prof noise.Profile) (*Density, error) {
+//
+// Diagonal fusion applies only when the profile's gate-error rates are zero:
+// the depolarizing channels are defined per physical gate, so collapsing a
+// cost layer would change the noise model. Readout error attaches at
+// measurement and does not block fusion.
+func NewDensity(p *problem.Problem, a *ansatz.Ansatz, prof noise.Profile, opts ...Option) (*Density, error) {
 	if p.N() != a.Circuit.N() {
 		return nil, fmt.Errorf("backend: %d-qubit ansatz for %d-qubit problem", a.Circuit.N(), p.N())
 	}
@@ -262,8 +304,12 @@ func NewDensity(p *problem.Problem, a *ansatz.Ansatz, prof noise.Profile) (*Dens
 		name:    fmt.Sprintf("dm(%s,%s,%s)", p.Name, a.Name, prof.Name),
 		prob:    p,
 		ans:     a,
+		circ:    a.Circuit,
 		profile: prof,
 		workers: 1,
+	}
+	if prof.P1 == 0 && prof.P2 == 0 && !applyOptions(opts).noFusion {
+		e.circ = a.Circuit.FuseDiagonals()
 	}
 	if p.Hamiltonian.IsDiagonal() {
 		diag, err := p.DiagonalTable()
@@ -315,7 +361,7 @@ func (e *Density) SetWorkers(w int) *Density {
 // measures the cost.
 func (e *Density) evaluateInto(dm *qsim.DensityMatrix, params []float64) (float64, error) {
 	prof := e.profile
-	if err := qsim.RunDensityInto(dm, e.ans.Circuit, params, e.hook); err != nil {
+	if err := qsim.RunDensityInto(dm, e.circ, params, e.hook); err != nil {
 		return 0, err
 	}
 	if prof.Readout01 == 0 && prof.Readout10 == 0 {

@@ -262,3 +262,101 @@ func TestCounting(t *testing.T) {
 		t.Fatal("wrapper metadata wrong")
 	}
 }
+
+func TestDiagonalFusionOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	p, err := problem.Random3RegularMaxCut(8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ansatz.QAOA(p.Graph, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := NewStateVector(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewStateVector(p, a, WithoutDiagonalFusion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.circ == a.Circuit {
+		t.Fatal("default StateVector should run the fused circuit")
+	}
+	if plain.circ != a.Circuit {
+		t.Fatal("WithoutDiagonalFusion should run the original circuit")
+	}
+	for trial := 0; trial < 20; trial++ {
+		params := make([]float64, 4)
+		for i := range params {
+			params[i] = (rng.Float64() - 0.5) * math.Pi
+		}
+		vf, err := fused.Evaluate(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vp, err := plain.Evaluate(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(vf-vp) > 1e-11 {
+			t.Fatalf("trial %d: fused %g vs unfused %g", trial, vf, vp)
+		}
+	}
+}
+
+func TestDensityFusionGating(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	p, err := problem.Random3RegularMaxCut(6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ansatz.QAOA(p.Graph, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := NewDensity(p, a, noise.Ideal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.circ == a.Circuit {
+		t.Fatal("ideal Density should fuse")
+	}
+	// Readout-only noise attaches at measurement, so fusion still applies.
+	ro := noise.Profile{Name: "ro", Readout01: 0.02, Readout10: 0.03}
+	roEv, err := NewDensity(p, a, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roEv.circ == a.Circuit {
+		t.Fatal("readout-only Density should fuse")
+	}
+	// Gate noise is defined per physical gate: fusion must stay off so the
+	// depolarizing channels see the original gate structure.
+	gateNoise := noise.Profile{Name: "dep", P1: 0.003, P2: 0.007}
+	noisy, err := NewDensity(p, a, gateNoise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.circ != a.Circuit {
+		t.Fatal("gate-noise Density must not fuse")
+	}
+	// Ideal fused density agrees with the (fused) statevector evaluator.
+	sv, err := NewStateVector(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []float64{0.4, -0.7}
+	vd, err := ideal.Evaluate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := sv.Evaluate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vd-vs) > 1e-9 {
+		t.Fatalf("ideal fused density %g vs statevector %g", vd, vs)
+	}
+}

@@ -110,6 +110,13 @@ func InsertDD(c *qsim.Circuit) (*qsim.Circuit, int) {
 				}
 			}
 		}
+		if g.Kind == qsim.GateDiagonal {
+			// A fused phase table can act on any subset of qubits;
+			// conservatively treat all of them as busy.
+			for q := range touched {
+				touched[q] = true
+			}
+		}
 	}
 	out := qsim.NewCircuit(c.N())
 	for _, g := range c.Gates() {

@@ -325,6 +325,12 @@ func appendGate(c *qsim.Circuit, g qsim.Gate) {
 		} else {
 			c.PauliRot(g.Pauli, g.Theta)
 		}
+	case qsim.GateDiagonal:
+		if g.Param >= 0 {
+			c.DiagonalP(g.Diag, g.Param, g.Scale)
+		} else {
+			c.Diagonal(g.Diag, g.Theta)
+		}
 	}
 }
 
@@ -378,6 +384,13 @@ func appendInverse(c *qsim.Circuit, g qsim.Gate) {
 			c.PauliRotP(g.Pauli, g.Param, -g.Scale)
 		} else {
 			c.PauliRot(g.Pauli, -g.Theta)
+		}
+	case qsim.GateDiagonal:
+		// diag(exp(-i theta t[b])) inverts by negating the angle.
+		if g.Param >= 0 {
+			c.DiagonalP(g.Diag, g.Param, -g.Scale)
+		} else {
+			c.Diagonal(g.Diag, -g.Theta)
 		}
 	}
 }

@@ -8,6 +8,7 @@ package qsim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/pauli"
 )
@@ -32,13 +33,18 @@ const (
 	GateRZZ
 	GateSWAP
 	GatePauliRot
+	// GateDiagonal multiplies amplitude b by exp(-i * theta * Diag[b]): an
+	// n-qubit diagonal unitary driven by a shared phase table, the target
+	// representation of FuseDiagonals. theta resolves like any parametric
+	// angle, so one angle-independent table serves every parameter value.
+	GateDiagonal
 )
 
 var kindNames = map[Kind]string{
 	GateH: "h", GateX: "x", GateY: "y", GateZ: "z", GateS: "s",
 	GateSdg: "sdg", GateT: "t", GateRX: "rx", GateRY: "ry", GateRZ: "rz",
 	GateCNOT: "cx", GateCZ: "cz", GateRZZ: "rzz", GateSWAP: "swap",
-	GatePauliRot: "pauli-rot",
+	GatePauliRot: "pauli-rot", GateDiagonal: "diagonal",
 }
 
 // String returns the gate mnemonic.
@@ -50,12 +56,12 @@ func (k Kind) String() string {
 }
 
 // qubitCount returns how many qubit operands the kind takes; 0 means
-// variable (PauliRot).
+// variable (PauliRot) or whole-register (Diagonal).
 func (k Kind) qubitCount() int {
 	switch k {
 	case GateCNOT, GateCZ, GateRZZ, GateSWAP:
 		return 2
-	case GatePauliRot:
+	case GatePauliRot, GateDiagonal:
 		return 0
 	default:
 		return 1
@@ -64,7 +70,7 @@ func (k Kind) qubitCount() int {
 
 func (k Kind) parametric() bool {
 	switch k {
-	case GateRX, GateRY, GateRZ, GateRZZ, GatePauliRot:
+	case GateRX, GateRY, GateRZ, GateRZZ, GatePauliRot, GateDiagonal:
 		return true
 	default:
 		return false
@@ -80,6 +86,7 @@ type Gate struct {
 	Param  int     // parameter index, or -1
 	Scale  float64 // multiplier applied to the bound parameter
 	Pauli  pauli.String
+	Diag   *PhaseTable // phase table for GateDiagonal (shared, not owned)
 }
 
 // Angle resolves the gate angle against a parameter vector.
@@ -110,6 +117,11 @@ type Circuit struct {
 	n         int
 	numParams int
 	gates     []Gate
+
+	// fused memoizes FuseDiagonals so every evaluator sharing this circuit
+	// (the landscape-batch regime) shares one fused copy and its tables.
+	fuseOnce sync.Once
+	fused    *Circuit
 }
 
 // NewCircuit creates an empty circuit on n qubits.
@@ -144,7 +156,9 @@ func (c *Circuit) CountKind(k Kind) int {
 }
 
 // TwoQubitCount counts all two-qubit gates, the dominant error source on
-// hardware.
+// hardware. GateDiagonal counts as zero: it is a simulator-level fusion
+// artifact, not a hardware gate, so depth/cost reporting should be taken
+// from the unfused circuit (FuseDiagonals keeps the original intact).
 func (c *Circuit) TwoQubitCount() int {
 	n := 0
 	for _, g := range c.gates {
@@ -161,12 +175,12 @@ func (c *Circuit) TwoQubitCount() int {
 }
 
 // OneQubitCount counts single-qubit gates (PauliRot counts its basis
-// rotations).
+// rotations; GateDiagonal, like the two-qubit kinds, contributes none).
 func (c *Circuit) OneQubitCount() int {
 	n := 0
 	for _, g := range c.gates {
 		switch g.Kind {
-		case GateCNOT, GateCZ, GateRZZ, GateSWAP:
+		case GateCNOT, GateCZ, GateRZZ, GateSWAP, GateDiagonal:
 		case GatePauliRot:
 			n += g.Pauli.Weight() + 1
 		default:
@@ -304,6 +318,31 @@ func (c *Circuit) RZZP(a, b, param int, scale float64) *Circuit {
 	return c.add(Gate{Kind: GateRZZ, Qubits: []int{a, b}, Param: param, Scale: scale})
 }
 
+// Diagonal appends a fixed-angle phase-table gate: amplitude b is
+// multiplied by exp(-i theta t[b]). The table is shared, not copied.
+func (c *Circuit) Diagonal(t *PhaseTable, theta float64) *Circuit {
+	c.checkDiag(t)
+	return c.add(Gate{Kind: GateDiagonal, Diag: t, Theta: theta, Param: -1})
+}
+
+// DiagonalP appends a parameter-bound phase-table gate with angle
+// scale*params[param]: the table is angle-independent, so one table serves
+// every parameter value (e.g. every gamma of a QAOA cost-layer sweep).
+func (c *Circuit) DiagonalP(t *PhaseTable, param int, scale float64) *Circuit {
+	c.checkDiag(t)
+	c.trackParam(param)
+	return c.add(Gate{Kind: GateDiagonal, Diag: t, Param: param, Scale: scale})
+}
+
+func (c *Circuit) checkDiag(t *PhaseTable) {
+	if t == nil {
+		panic("qsim: nil phase table")
+	}
+	if t.Len() != 1<<uint(c.n) {
+		panic(fmt.Sprintf("qsim: phase table length %d on %d-qubit circuit", t.Len(), c.n))
+	}
+}
+
 // PauliRot appends exp(-i theta/2 P) with fixed angle.
 func (c *Circuit) PauliRot(p pauli.String, theta float64) *Circuit {
 	c.checkPauli(p)
@@ -332,7 +371,9 @@ func (c *Circuit) trackParam(param int) {
 	}
 }
 
-// Validate checks that a parameter vector has the right arity.
+// Validate checks that a parameter vector has the right arity and that
+// every GateDiagonal carries a full-register phase table (length 2^n) —
+// hand-built gate lists can miss the builder-time checks.
 func (c *Circuit) Validate(params []float64) error {
 	if len(params) < c.numParams {
 		return fmt.Errorf("qsim: circuit needs %d parameters, got %d", c.numParams, len(params))
@@ -340,6 +381,16 @@ func (c *Circuit) Validate(params []float64) error {
 	for _, p := range params {
 		if math.IsNaN(p) || math.IsInf(p, 0) {
 			return fmt.Errorf("qsim: non-finite parameter %g", p)
+		}
+	}
+	for i := range c.gates {
+		if g := &c.gates[i]; g.Kind == GateDiagonal {
+			if g.Diag == nil {
+				return fmt.Errorf("qsim: diagonal gate %d has no phase table", i)
+			}
+			if g.Diag.Len() != 1<<uint(c.n) {
+				return fmt.Errorf("qsim: diagonal gate %d table length %d, want %d", i, g.Diag.Len(), 1<<uint(c.n))
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,95 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// PhaseTable is a shared per-basis phase generator for GateDiagonal gates:
+// applying the gate with resolved angle theta multiplies amplitude b by
+// exp(-i * theta * table[b]). Because the table itself is angle-independent,
+// one table serves every parameter value a landscape batch visits — the
+// cost-layer table of a QAOA circuit is built once and reused for every
+// gamma on the grid (and, via FuseDiagonals' interning, across all p layers).
+//
+// Tables are shared by pointer between gates, circuits, and evaluators and
+// must not be mutated after construction.
+type PhaseTable struct {
+	vals []float64
+
+	// Value compression, built lazily on first kernel use: vals[b] ==
+	// unique[idx[b]] with exact float64 equality. When the table has few
+	// distinct values (MaxCut/SK cost spectra have O(|E|) of them, not
+	// O(2^n)), kernels evaluate one Sincos per unique value instead of one
+	// per amplitude, and stream 4-byte indices instead of 8-byte floats.
+	once   sync.Once
+	unique []float64
+	idx    []uint32
+}
+
+// phaseLUTFactor gates the compressed path: the LUT pays off only when the
+// distinct-value count is well below the table length (the LUT must stay
+// cache-resident while the index stream is traversed).
+const phaseLUTFactor = 8
+
+// NewPhaseTable wraps a per-basis phase generator. The table length must be
+// a power of two (2^n for an n-qubit gate); the slice is retained, not
+// copied, and must not be mutated afterwards.
+func NewPhaseTable(vals []float64) *PhaseTable {
+	if len(vals) == 0 || len(vals)&(len(vals)-1) != 0 {
+		panic(fmt.Sprintf("qsim: phase table length %d is not a power of two", len(vals)))
+	}
+	return &PhaseTable{vals: vals}
+}
+
+// Len reports the table length (2^n).
+func (t *PhaseTable) Len() int { return len(t.vals) }
+
+// Values returns the per-basis generator (do not mutate).
+func (t *PhaseTable) Values() []float64 { return t.vals }
+
+// compressed returns the value-compressed form (idx, unique, true) when the
+// distinct-value count is small enough for the LUT path, or (nil, nil,
+// false) when the kernel should evaluate phases directly. The compression is
+// built once and shared by every worker and evaluator using the table.
+func (t *PhaseTable) compressed() ([]uint32, []float64, bool) {
+	t.once.Do(func() {
+		limit := len(t.vals) / phaseLUTFactor
+		if limit < 1 {
+			return
+		}
+		seen := make(map[uint64]uint32, limit+1)
+		idx := make([]uint32, len(t.vals))
+		unique := make([]float64, 0, limit)
+		for b, v := range t.vals {
+			key := math.Float64bits(v)
+			k, ok := seen[key]
+			if !ok {
+				if len(unique) >= limit {
+					return // too many distinct values: direct path
+				}
+				k = uint32(len(unique))
+				seen[key] = k
+				unique = append(unique, v)
+			}
+			idx[b] = k
+		}
+		t.idx, t.unique = idx, unique
+	})
+	if t.idx == nil {
+		return nil, nil, false
+	}
+	return t.idx, t.unique, true
+}
+
+// buildPhaseLUT fills dst[k] = exp(-i * theta * unique[k]). Both the LUT and
+// the direct kernel path evaluate exactly Sincos(theta * value), and the
+// compression preserves values bit-for-bit, so the two paths produce
+// identical amplitudes.
+func buildPhaseLUT(dst []complex128, theta float64, unique []float64) {
+	for k, v := range unique {
+		sn, cs := math.Sincos(theta * v)
+		dst[k] = complex(cs, -sn)
+	}
+}

@@ -440,3 +440,186 @@ func TestSamplerMatchesSample(t *testing.T) {
 		t.Fatal("want off-diagonal error")
 	}
 }
+
+// --- fused diagonal phase-table pins ---
+
+// refApplyPhaseTable is the reference phase-table sweep: one Sincos per
+// amplitude, no compression, no sharding.
+func refApplyPhaseTable(amp []complex128, vals []float64, theta float64) {
+	for b := range amp {
+		sn, cs := math.Sincos(theta * vals[b])
+		amp[b] *= complex(cs, -sn)
+	}
+}
+
+// TestPhaseTableKernelMatchesReference pins applyPhaseTable against the
+// reference sweep on both the LUT path (few distinct values) and the direct
+// path (all-distinct values), serial and sharded. Equality is exact: the
+// value compression is bit-preserving and both paths evaluate the identical
+// Sincos argument per amplitude.
+func TestPhaseTableKernelMatchesReference(t *testing.T) {
+	for _, n := range []int{4, 8, 15} {
+		for _, distinct := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(int64(7*n + 1)))
+			dim := 1 << uint(n)
+			vals := make([]float64, dim)
+			for b := range vals {
+				if distinct {
+					vals[b] = rng.NormFloat64() * 3
+				} else {
+					// Two distinct values keeps the LUT path engaged even at
+					// n=4, where the compression limit is dim/8 = 2.
+					vals[b] = float64(rng.Intn(2)*3 - 1)
+				}
+			}
+			tbl := NewPhaseTable(vals)
+			if _, _, lut := tbl.compressed(); lut == distinct {
+				t.Fatalf("n=%d distinct=%v: unexpected compression choice %v", n, distinct, lut)
+			}
+			for _, workers := range []int{1, 3} {
+				rs := rand.New(rand.NewSource(int64(n)))
+				s := NewState(n).SetWorkers(workers)
+				ref := make([]complex128, dim)
+				for b := range ref {
+					s.amp[b] = complex(rs.NormFloat64(), rs.NormFloat64())
+					ref[b] = s.amp[b]
+				}
+				theta := 0.37
+				s.applyPhaseTable(tbl, theta)
+				refApplyPhaseTable(ref, vals, theta)
+				for b := range ref {
+					if s.amp[b] != ref[b] {
+						t.Fatalf("n=%d distinct=%v workers=%d: amp[%d] = %v, ref %v",
+							n, distinct, workers, b, s.amp[b], ref[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// fusedPinCase builds the frozen-seed QAOA-shaped circuit and parameters the
+// fused-vs-edge-by-edge pins run.
+func fusedPinCase(t *testing.T, n, p int) (*Circuit, *Circuit, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(1000*n + p)))
+	edges := make([][2]int, 0, n*2)
+	weights := make([]float64, 0, n*2)
+	for q := 0; q < n; q++ {
+		edges = append(edges, [2]int{q, (q + 1) % n})
+		weights = append(weights, 0.5+rng.Float64())
+		if q+3 < n {
+			edges = append(edges, [2]int{q, q + 3})
+			weights = append(weights, 0.5+rng.Float64())
+		}
+	}
+	c := qaoaLikeCircuit(n, p, edges, weights)
+	f := c.FuseDiagonals()
+	if f == c {
+		t.Fatal("pin circuit did not fuse")
+	}
+	params := make([]float64, 2*p)
+	for i := range params {
+		params[i] = (rng.Float64() - 0.5) * math.Pi
+	}
+	return c, f, params
+}
+
+// TestFusedMatchesEdgeByEdgeStateVector pins the fused statevector path to
+// the edge-by-edge kernels on frozen-seed QAOA circuits, p=1 and stacked
+// p=2, serial and sharded. Fusion legitimately reorders the phase
+// arithmetic (exp of a summed generator instead of a product of per-gate
+// phases), so amplitudes are held to 1e-12 — the file's tolerance for
+// reordered floating point — while serial and sharded fused runs of the
+// same circuit must agree exactly.
+func TestFusedMatchesEdgeByEdgeStateVector(t *testing.T) {
+	for _, p := range []int{1, 2} {
+		const n = 10
+		c, f, params := fusedPinCase(t, n, p)
+		edge, err := Run(c, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := Run(f, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range edge.amp {
+			d := fused.amp[i] - edge.amp[i]
+			if math.Hypot(real(d), imag(d)) > 1e-12 {
+				t.Fatalf("p=%d: amp[%d] fused %v, edge-by-edge %v", p, i, fused.amp[i], edge.amp[i])
+			}
+		}
+		for _, workers := range []int{2, 3, 8} {
+			s := NewState(n).SetWorkers(workers)
+			if err := RunInto(s, f, params); err != nil {
+				t.Fatal(err)
+			}
+			for i := range fused.amp {
+				if s.amp[i] != fused.amp[i] {
+					t.Fatalf("p=%d workers=%d: fused amp[%d] = %v, serial %v",
+						p, workers, i, s.amp[i], fused.amp[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedMatchesEdgeByEdgeDensity pins the fused density-matrix path the
+// same way: ideal evolution of the fused circuit must match the edge-by-edge
+// circuit entrywise to the reordered-arithmetic tolerance.
+func TestFusedMatchesEdgeByEdgeDensity(t *testing.T) {
+	for _, p := range []int{1, 2} {
+		const n = 6
+		c, f, params := fusedPinCase(t, n, p)
+		edge, err := RunDensity(c, params, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := RunDensity(f, params, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range edge.rho {
+			d := fused.rho[i] - edge.rho[i]
+			if math.Hypot(real(d), imag(d)) > 1e-12 {
+				t.Fatalf("p=%d: rho[%d] fused %v, edge-by-edge %v", p, i, fused.rho[i], edge.rho[i])
+			}
+		}
+	}
+}
+
+// TestDensityDiagonalPrecomputeBitIdentical pins the precomputed-phase-vector
+// applyDiagonal (the O(4^n)-closure-call fix) plus the diagonal PauliRot fast
+// path against the statevector evolution of the same pure circuit.
+func TestDensityDiagonalPrecomputeBitIdentical(t *testing.T) {
+	const n = 5
+	rng := rand.New(rand.NewSource(31))
+	c := NewCircuit(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.CZ(0, 1)
+	c.RZZ(1, 2, 0.8)
+	c.PauliRot(pauli.MustString("ZZIZZ"), 1.3)
+	c.RX(3, rng.Float64())
+	c.CZ(2, 4)
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RunDensity(c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := 1 << uint(n)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			want := s.amp[i] * complexConj(s.amp[j])
+			diff := d.rho[i*dim+j] - want
+			if math.Hypot(real(diff), imag(diff)) > 1e-12 {
+				t.Fatalf("rho[%d,%d] = %v, |psi><psi| %v", i, j, d.rho[i*dim+j], want)
+			}
+		}
+	}
+}

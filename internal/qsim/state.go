@@ -18,6 +18,10 @@ type State struct {
 	// workers bounds how many goroutines elementwise gate kernels shard
 	// their amplitude range across (<= 1 means serial). See SetWorkers.
 	workers int
+	// phaseLUT is the reused scratch for applyPhaseTable's per-application
+	// complex phase LUT (one entry per distinct table value), so fused
+	// diagonal layers allocate nothing in steady state.
+	phaseLUT []complex128
 }
 
 // NewState prepares |0...0> on n qubits.
@@ -318,6 +322,61 @@ func (s *State) applyRZZ(a, b int, theta float64) {
 	s.rzzRange(0, quarter, lm, hm, ab, bb, pPlus, pMinus)
 }
 
+// phaseLUTRange multiplies each amplitude by its value-compressed table
+// phase: a single unit-stride streaming pass over (amp, idx) with the LUT
+// resident in L1 — the cache-optimal traversal for a fused diagonal layer.
+func (s *State) phaseLUTRange(lo, hi int, idx []uint32, lut []complex128) {
+	amp := s.amp
+	for b := lo; b < hi; b++ {
+		amp[b] *= lut[idx[b]]
+	}
+}
+
+// phaseDirectRange is the uncompressed fallback: one Sincos per amplitude.
+func (s *State) phaseDirectRange(lo, hi int, theta float64, vals []float64) {
+	amp := s.amp
+	for b := lo; b < hi; b++ {
+		sn, cs := math.Sincos(theta * vals[b])
+		amp[b] *= complex(cs, -sn)
+	}
+}
+
+// lutScratch returns the reused phase-LUT buffer, grown on demand.
+func (s *State) lutScratch(n int) []complex128 {
+	if cap(s.phaseLUT) < n {
+		s.phaseLUT = make([]complex128, n)
+	}
+	return s.phaseLUT[:n]
+}
+
+// applyPhaseTable applies a GateDiagonal with resolved angle theta:
+// amp[b] *= exp(-i theta t[b]), one O(2^n) pass for a whole fused diagonal
+// layer regardless of how many gates were collapsed into it. Tables with few
+// distinct values (MaxCut/SK cost spectra) take the compressed path — one
+// Sincos per distinct value, then a streamed index lookup per amplitude.
+// Both paths evaluate the identical Sincos per amplitude value, and shards
+// own disjoint contiguous ranges, so results are bit-identical across
+// compression choices and worker counts.
+func (s *State) applyPhaseTable(t *PhaseTable, theta float64) {
+	n := len(s.amp)
+	if idx, unique, ok := t.compressed(); ok {
+		lut := s.lutScratch(len(unique))
+		buildPhaseLUT(lut, theta, unique)
+		if w := s.kernelWorkers(n); w > 1 {
+			shard.ForRange(w, n, func(lo, hi int) { s.phaseLUTRange(lo, hi, idx, lut) })
+			return
+		}
+		s.phaseLUTRange(0, n, idx, lut)
+		return
+	}
+	vals := t.Values()
+	if w := s.kernelWorkers(n); w > 1 {
+		shard.ForRange(w, n, func(lo, hi int) { s.phaseDirectRange(lo, hi, theta, vals) })
+		return
+	}
+	s.phaseDirectRange(0, n, theta, vals)
+}
+
 func (s *State) rotDiagRange(lo, hi int, z uint64, phasePlus, phaseMinus complex128) {
 	amp := s.amp
 	for b := lo; b < hi; b++ {
@@ -446,6 +505,8 @@ func (s *State) applyKind(g *Gate, theta float64) {
 		s.applyRZZ(g.Qubits[0], g.Qubits[1], theta)
 	case GatePauliRot:
 		s.applyPauliRot(g.Pauli, theta)
+	case GateDiagonal:
+		s.applyPhaseTable(g.Diag, theta)
 	default:
 		s.apply1Q(g.Qubits[0], gateMatrix(g.Kind, theta))
 	}
@@ -456,6 +517,9 @@ func (s *State) ApplyGate(g Gate, params []float64) error {
 	theta, err := g.Angle(params)
 	if err != nil {
 		return err
+	}
+	if g.Kind == GateDiagonal && (g.Diag == nil || g.Diag.Len() != len(s.amp)) {
+		return fmt.Errorf("qsim: diagonal gate table does not match %d-qubit state", s.n)
 	}
 	s.applyKind(&g, theta)
 	return nil
