@@ -688,6 +688,96 @@ func BenchmarkReconstruct5000(b *testing.B) {
 	b.ReportMetric(last, "nrmse")
 }
 
+// BenchmarkReconstructND is the p=2 analogue of BenchmarkReconstruct5000: a
+// true 4-D solve on the 10x10x10x10 depth-2 grid from 5% of its points, at
+// one and max solver worker counts (the sharded per-axis DCT passes are
+// bit-identical across the two).
+func BenchmarkReconstructND(b *testing.B) {
+	rng := rand.New(rand.NewSource(83))
+	dims := []int{10, 10, 10, 10}
+	n := 10000
+	strides := []int{1000, 100, 10, 1}
+	coeffs := make([]float64, n)
+	for i := 0; i < 8; i++ {
+		idx := 0
+		for _, s := range strides {
+			idx += rng.Intn(4) * s
+		}
+		coeffs[idx] = 2*rng.Float64() + 1
+	}
+	x := make([]float64, n)
+	dct.NewPlanND(dims).Inverse(x, coeffs)
+	idx, err := cs.SampleIndices(rng, n, n/20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := make([]float64, len(idx))
+	for j, i := range idx {
+		y[j] = x[i]
+	}
+	for _, workers := range []int{1, 0} {
+		name := "workers-1"
+		if workers == 0 {
+			name = "workers-max"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := cs.DefaultOptions()
+			opt.Workers = workers
+			var last *cs.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = cs.ReconstructND(dims, idx, y, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var num, den float64
+			for i := range x {
+				d := last.X[i] - x[i]
+				num += d * d
+				den += x[i] * x[i]
+			}
+			b.ReportMetric(math.Sqrt(num/den), "relerr")
+		})
+	}
+}
+
+// BenchmarkSurrogateDescent times the full p=2 surrogate loop through the
+// public API: 4-D reconstruction, NDSpline fit, and an ADAM descent on the
+// interpolated surrogate (zero further circuit executions).
+func BenchmarkSurrogateDescent(b *testing.B) {
+	p, err := MeshMaxCut(2, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := QAOAAnsatz(p, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := NewStateVector(p, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := QAOAGridP(2, 7, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	be := Batch(dev)
+	ctx := context.Background()
+	b.ResetTimer()
+	var last *SurrogateResult
+	for i := 0; i < b.N; i++ {
+		last, err = OptimizeOnSurrogate(ctx, grid, be, SurrogateOptions{
+			Recon: Options{SamplingFraction: 0.25, Seed: int64(i)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.Optimum.F, "surrogate-min")
+	b.ReportMetric(float64(last.Stats.Samples), "circuit-execs")
+}
+
 // BenchmarkFusedCostLayer records the diagonal-fusion win on the paper's two
 // 12-qubit MaxCut shapes: the |E|=18 3-regular graph and the |E|=66
 // complete (SK) graph. Both legs sweep the full 50x100 Table 1 grid through

@@ -25,10 +25,11 @@ import (
 const shades = " .:-=+*#%@"
 
 func render(l *landscape.Landscape, maxRows, maxCols int) string {
-	rows, cols, err := l.Shape2D()
-	if err != nil {
-		return err.Error()
+	shape := l.Shape()
+	if len(shape) != 2 {
+		return fmt.Sprintf("heatmap needs a 2-axis landscape, got %d axes", len(shape))
 	}
+	rows, cols := shape[0], shape[1]
 	minV, minIdx := l.Min()
 	maxV, _ := l.Max()
 	if minIdx < 0 {

@@ -8,10 +8,12 @@
 //  3. Landscape reconstruction: recover the full grid by l1-minimization in
 //     the DCT domain (package cs).
 //
-// Depth-2 QAOA landscapes (4 parameter axes) are reconstructed through the
-// paper's concatenation reshape: the (b1,b2,g1,g2) grid is treated as a
-// (b1*b2)x(g1*g2) 2-D image, which is a pure re-labeling because flat grid
-// indices are row-major.
+// Reconstruction is N-dimensional: a depth-p QAOA landscape over 2p parameter
+// axes is recovered by a true 2p-dimensional DCT solve (cs.ReconstructND).
+// Earlier releases flattened depth-2 grids through the paper's concatenation
+// reshape — (b1,b2,g1,g2) treated as a (b1*b2)x(g1*g2) image — which the ND
+// solver supersedes: a separable per-axis basis is strictly sparser on
+// separable QAOA structure than the concatenated 2-D basis.
 package core
 
 import (
@@ -68,27 +70,20 @@ type Stats struct {
 	Values []float64
 }
 
-// shape2D maps a grid onto the 2-D shape the solver works with: a 2-D grid
-// passes through, and any even-dimensional grid is reshaped by the paper's
-// concatenation — the first half of the axes become rows, the second half
-// columns (for depth-p QAOA with [betas..., gammas...] parameter order this
-// groups all betas against all gammas, generalizing the paper's p=2
-// (12,12,15,15) -> (144,225) construction). Because flat indices are
-// row-major, the reshape is a pure re-labeling of the same data.
-func shape2D(g *landscape.Grid) (rows, cols int, err error) {
-	k := len(g.Axes)
-	if k < 2 || k%2 != 0 {
-		return 0, 0, fmt.Errorf("core: reconstruction needs an even number of axes >= 2, got %d", k)
+// sampleIndices draws the phase-1 sampling pattern for a grid. Uniform
+// sampling is shape-blind; stratified sampling keeps the seed flat-bucket
+// scheme on 1-D/2-D grids (bit-compatible with earlier releases) and uses the
+// ND box-splitting sampler on 3+ axes, where flat buckets would stripe along
+// the last axis instead of covering the volume.
+func sampleIndices(rng *rand.Rand, g *landscape.Grid, m int, stratified bool) ([]int, error) {
+	if !stratified {
+		return cs.SampleIndices(rng, g.Size(), m)
 	}
-	rows, cols = 1, 1
-	for i, a := range g.Axes {
-		if i < k/2 {
-			rows *= a.N
-		} else {
-			cols *= a.N
-		}
+	dims := g.Dims()
+	if len(dims) >= 3 {
+		return cs.StratifiedIndicesND(rng, dims, m)
 	}
-	return rows, cols, nil
+	return cs.StratifiedIndices(rng, g.Size(), m)
 }
 
 func (o *Options) solverOptions() cs.Options {
@@ -127,15 +122,7 @@ func ReconstructBatch(ctx context.Context, g *landscape.Grid, be exec.BatchEvalu
 		m = 1
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	var (
-		idx []int
-		err error
-	)
-	if opt.Stratified {
-		idx, err = cs.StratifiedIndices(rng, total, m)
-	} else {
-		idx, err = cs.SampleIndices(rng, total, m)
-	}
+	idx, err := sampleIndices(rng, g, m, opt.Stratified)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -160,11 +147,7 @@ func ReconstructFromSamplesContext(ctx context.Context, g *landscape.Grid, idx [
 	if len(idx) == 0 {
 		return nil, nil, errors.New("core: no samples")
 	}
-	rows, cols, err := shape2D(g)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := cs.Reconstruct2DContext(ctx, rows, cols, idx, values, opt.solverOptions())
+	res, err := cs.ReconstructNDContext(ctx, g.Dims(), idx, values, opt.solverOptions())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -194,8 +177,5 @@ func SampleGrid(g *landscape.Grid, fraction float64, seed int64, stratified bool
 		m = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	if stratified {
-		return cs.StratifiedIndices(rng, total, m)
-	}
-	return cs.SampleIndices(rng, total, m)
+	return sampleIndices(rng, g, m, stratified)
 }

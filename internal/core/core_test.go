@@ -99,17 +99,6 @@ func TestReconstructValidation(t *testing.T) {
 	if _, _, err := Reconstruct(grid, eval, Options{SamplingFraction: 1.2}); err == nil {
 		t.Error("want error for >1 fraction")
 	}
-	g3, err := landscape.NewGrid(
-		landscape.Axis{Name: "a", Min: 0, Max: 1, N: 4},
-		landscape.Axis{Name: "b", Min: 0, Max: 1, N: 4},
-		landscape.Axis{Name: "c", Min: 0, Max: 1, N: 4},
-	)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := Reconstruct(g3, eval, Options{SamplingFraction: 0.5}); err == nil {
-		t.Error("want error for 3 axes")
-	}
 	if _, _, err := ReconstructFromSamples(grid, nil, nil, Options{}); err == nil {
 		t.Error("want error for no samples")
 	}
@@ -326,18 +315,29 @@ func TestReconstruct6DGrid(t *testing.T) {
 	}
 }
 
-func TestReconstructOddAxesRejected(t *testing.T) {
+// TestReconstructOddAxes: the ND redesign lifted the historical even-axes
+// restriction — a 3-axis grid reconstructs through a true 3-D DCT solve.
+func TestReconstructOddAxes(t *testing.T) {
 	g3, err := landscape.NewGrid(
-		landscape.Axis{Name: "a", Min: 0, Max: 1, N: 4},
-		landscape.Axis{Name: "b", Min: 0, Max: 1, N: 4},
-		landscape.Axis{Name: "c", Min: 0, Max: 1, N: 4},
+		landscape.Axis{Name: "a", Min: 0, Max: 1, N: 6},
+		landscape.Axis{Name: "b", Min: 0, Max: 1, N: 6},
+		landscape.Axis{Name: "c", Min: 0, Max: 1, N: 6},
 	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eval := func(p []float64) (float64, error) { return 0, nil }
-	if _, _, err := Reconstruct(g3, eval, Options{SamplingFraction: 0.5}); err == nil {
-		t.Fatal("want error for odd axis count")
+	eval := func(p []float64) (float64, error) {
+		return math.Cos(2*math.Pi*p[0]) + math.Cos(2*math.Pi*p[1])*math.Cos(2*math.Pi*p[2]), nil
+	}
+	l, st, err := Reconstruct(g3, eval, Options{SamplingFraction: 0.6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Grid.Size(); got != 216 || len(l.Data) != 216 {
+		t.Fatalf("3-axis landscape size %d, data %d", got, len(l.Data))
+	}
+	if st.Samples == 0 {
+		t.Fatal("no samples recorded")
 	}
 }
 

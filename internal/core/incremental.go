@@ -20,9 +20,9 @@ import (
 // Incremental is not safe for concurrent use; the streaming loop that owns
 // it appends and solves from one goroutine.
 type Incremental struct {
-	grid       *landscape.Grid
-	rows, cols int
-	opt        Options
+	grid *landscape.Grid
+	dims []int
+	opt  Options
 
 	idx    []int
 	values []float64
@@ -37,14 +37,12 @@ type Incremental struct {
 // fields (SamplingFraction, Seed, Stratified) are unused — the caller
 // decides what to sample and appends what was measured.
 func NewIncremental(g *landscape.Grid, opt Options) (*Incremental, error) {
-	rows, cols, err := shape2D(g)
-	if err != nil {
-		return nil, err
+	if len(g.Axes) == 0 {
+		return nil, errors.New("core: grid has no axes")
 	}
 	return &Incremental{
 		grid: g,
-		rows: rows,
-		cols: cols,
+		dims: g.Dims(),
 		opt:  opt,
 		seen: make(map[int]struct{}),
 	}, nil
@@ -97,7 +95,7 @@ func (inc *Incremental) Reconstruct(ctx context.Context) (*landscape.Landscape, 
 	}
 	opt := inc.opt.solverOptions()
 	opt.Warm = inc.coeffs
-	res, err := cs.Reconstruct2DContext(ctx, inc.rows, inc.cols, inc.idx, inc.values, opt)
+	res, err := cs.ReconstructNDContext(ctx, inc.dims, inc.idx, inc.values, opt)
 	if err != nil {
 		return nil, nil, err
 	}

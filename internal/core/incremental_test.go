@@ -151,12 +151,12 @@ func TestIncrementalValidation(t *testing.T) {
 	if inc.Samples() != 2 {
 		t.Fatalf("rejected appends mutated state: %d samples", inc.Samples())
 	}
-	// A 1-axis grid cannot reshape to 2-D.
+	// The ND redesign accepts any axis count, including a 1-axis line cut.
 	g1, err := landscape.NewGrid(landscape.Axis{Name: "x", Min: 0, Max: 1, N: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewIncremental(g1, Options{}); err == nil {
-		t.Error("want error for odd-axis grid")
+	if _, err := NewIncremental(g1, Options{}); err != nil {
+		t.Errorf("1-axis grid rejected: %v", err)
 	}
 }

@@ -1,10 +1,11 @@
 // Package cs implements the compressed-sensing reconstruction at the heart
 // of OSCAR.
 //
-// A landscape X (row-major rows×cols grid) is assumed sparse in the 2-D DCT
-// domain: X = IDCT2(S) with S mostly zero. Given measurements y of X at a
-// small set of grid indices Ω (the measurement operator A s = subsample_Ω(
-// IDCT2(s))), the solver recovers S by l1-regularized least squares
+// A landscape X (a row-major N-dimensional grid, last axis fastest) is
+// assumed sparse in the separable DCT domain: X = IDCT(S) with S mostly
+// zero. Given measurements y of X at a small set of grid indices Ω (the
+// measurement operator A s = subsample_Ω(IDCT(s))), the solver recovers S by
+// l1-regularized least squares
 //
 //	min_s 1/2 ||y - A s||_2^2 + λ ||s||_1
 //
@@ -79,17 +80,17 @@ type Options struct {
 	// to len(y)/4.
 	OMPSparsity int
 	// Warm optionally seeds the proximal solvers (FISTA/ISTA) with an
-	// initial DCT-coefficient estimate of length rows*cols — typically the
+	// initial DCT-coefficient estimate of the full grid length — typically the
 	// previous solve of a growing sample set, the streaming-reconstruction
 	// regime. A warm start begins iteration at the target penalty instead
 	// of running the continuation schedule (continuation exists to escape
 	// the zero start, which a warm start already has). OMP ignores it.
 	// The slice is read, never written.
 	Warm []float64
-	// Workers shards the solver — the 2-D DCT row/column passes and the
+	// Workers shards the solver — the per-axis DCT passes and the
 	// per-element FISTA kernels — across a worker pool: any non-positive
 	// value selects GOMAXPROCS, 1 forces the serial solver, and n > 1
-	// uses n workers (dct.NewPlan2DWorkers owns this resolution). Grids
+	// uses n workers (dct.NewPlanNDWorkers owns this resolution). Grids
 	// smaller than 4096 points always solve serially. Sharding is
 	// bit-identical to the serial solver for every worker count.
 	Workers int
@@ -114,9 +115,9 @@ func DefaultOptions() Options {
 // Options whose only set fields are the carry-through ones — Workers and
 // Warm — becomes DefaultOptions carrying them, so picking a pool size or
 // warm-starting never silently drops the paper configuration (continuation,
-// debias). Any other set field disables the promotion. Reconstruct2DContext
-// applies it to every solve, so direct calls, core.Options.Solver, and
-// ReconstructMany jobs all follow this one rule.
+// debias). Any other set field disables the promotion. ReconstructNDContext
+// applies it to every solve, so direct calls, the 2D/1D wrappers,
+// core.Options.Solver, and ReconstructMany jobs all follow this one rule.
 func (o Options) WithDefaults() Options {
 	// Keep the probe in sync with the field list: every non-carry-through
 	// field must be checked here, or a caller setting it would be promoted
@@ -148,9 +149,9 @@ func (o *Options) fill() {
 
 // Result carries the reconstruction and solver diagnostics.
 type Result struct {
-	// X is the reconstructed row-major rows×cols landscape.
+	// X is the reconstructed row-major landscape (last axis fastest).
 	X []float64
-	// Coeffs is the recovered DCT coefficient matrix (same layout).
+	// Coeffs is the recovered DCT coefficient tensor (same layout).
 	Coeffs []float64
 	// Iterations is the number of solver iterations performed.
 	Iterations int
@@ -160,23 +161,31 @@ type Result struct {
 	Sparsity int
 }
 
-// Reconstruct2D recovers a rows×cols landscape from values y observed at the
-// row-major grid indices idx. idx entries must be unique and in
-// [0, rows*cols).
-func Reconstruct2D(rows, cols int, idx []int, y []float64, opt Options) (*Result, error) {
-	return Reconstruct2DContext(context.Background(), rows, cols, idx, y, opt)
+// ReconstructND recovers an N-dimensional landscape of the given per-axis
+// lengths (row-major, last axis fastest) from values y observed at the flat
+// grid indices idx. idx entries must be unique and in [0, prod(dims)). This
+// is the primary reconstruction entry point; Reconstruct2D and Reconstruct1D
+// are thin compatibility wrappers over it.
+func ReconstructND(dims []int, idx []int, y []float64, opt Options) (*Result, error) {
+	return ReconstructNDContext(context.Background(), dims, idx, y, opt)
 }
 
-// Reconstruct2DContext is Reconstruct2D with cancellation: a canceled ctx
+// ReconstructNDContext is ReconstructND with cancellation: a canceled ctx
 // stops the solver between iterations and returns ctx.Err().
-func Reconstruct2DContext(ctx context.Context, rows, cols int, idx []int, y []float64, opt Options) (*Result, error) {
+func ReconstructNDContext(ctx context.Context, dims []int, idx []int, y []float64, opt Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if rows <= 0 || cols <= 0 {
-		return nil, fmt.Errorf("cs: invalid shape %dx%d", rows, cols)
+	if len(dims) == 0 {
+		return nil, errors.New("cs: empty shape")
 	}
-	n := rows * cols
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("cs: invalid shape %v", dims)
+		}
+		n *= d
+	}
 	if len(idx) != len(y) {
 		return nil, fmt.Errorf("cs: %d indices but %d values", len(idx), len(y))
 	}
@@ -198,7 +207,7 @@ func Reconstruct2DContext(ctx context.Context, rows, cols int, idx []int, y []fl
 	if opt.Warm != nil && len(opt.Warm) != n {
 		return nil, fmt.Errorf("cs: warm start has %d coefficients, want %d", len(opt.Warm), n)
 	}
-	op := newPartialDCT(rows, cols, idx, opt.Workers)
+	op := newPartialDCT(dims, idx, opt.Workers)
 	switch opt.Method {
 	case FISTA, ISTA:
 		return solveProx(ctx, op, y, opt)
@@ -209,35 +218,50 @@ func Reconstruct2DContext(ctx context.Context, rows, cols int, idx []int, y []fl
 	}
 }
 
+// Reconstruct2D recovers a rows×cols landscape from values y observed at the
+// row-major grid indices idx. idx entries must be unique and in
+// [0, rows*cols). It is the 2-axis special case of ReconstructND and remains
+// bit-identical to the pre-ND solver (the ND DCT's two-axis passes are
+// exactly the old row/column sweep).
+func Reconstruct2D(rows, cols int, idx []int, y []float64, opt Options) (*Result, error) {
+	return Reconstruct2DContext(context.Background(), rows, cols, idx, y, opt)
+}
+
+// Reconstruct2DContext is Reconstruct2D with cancellation: a canceled ctx
+// stops the solver between iterations and returns ctx.Err().
+func Reconstruct2DContext(ctx context.Context, rows, cols int, idx []int, y []float64, opt Options) (*Result, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("cs: invalid shape %dx%d", rows, cols)
+	}
+	return ReconstructNDContext(ctx, []int{rows, cols}, idx, y, opt)
+}
+
 // partialDCT is the measurement operator A and its adjoint, sharded across
 // workers goroutines (1 = serial).
 type partialDCT struct {
-	rows, cols int
-	workers    int
-	idx        []int
-	plan       *dct.Plan2D
-	grid       []float64 // scratch, length rows*cols
+	workers int
+	idx     []int
+	plan    *dct.PlanND
+	grid    []float64 // scratch, length prod(dims)
 }
 
-func newPartialDCT(rows, cols int, idx []int, workers int) *partialDCT {
-	plan := dct.NewPlan2DWorkers(rows, cols, workers)
+func newPartialDCT(dims []int, idx []int, workers int) *partialDCT {
+	plan := dct.NewPlanNDWorkers(dims, workers)
 	return &partialDCT{
-		rows: rows,
-		cols: cols,
 		// The plan owns worker resolution (GOMAXPROCS default, small-grid
 		// serial fallback); adopting its effective count keeps the vector
 		// kernels and the transforms under one rule.
 		workers: plan.Workers(),
 		idx:     idx,
 		plan:    plan,
-		grid:    make([]float64, rows*cols),
+		grid:    make([]float64, plan.Size()),
 	}
 }
 
-func (op *partialDCT) n() int { return op.rows * op.cols }
+func (op *partialDCT) n() int { return len(op.grid) }
 func (op *partialDCT) m() int { return len(op.idx) }
 
-// forward computes A s = subsample(IDCT2(s)) into out (length m).
+// forward computes A s = subsample(IDCT(s)) into out (length m).
 func (op *partialDCT) forward(out, s []float64) {
 	op.plan.Inverse(op.grid, s)
 	for j, gi := range op.idx {
@@ -245,7 +269,7 @@ func (op *partialDCT) forward(out, s []float64) {
 	}
 }
 
-// adjoint computes A^T r = DCT2(scatter(r)) into out (length n). The zeroing
+// adjoint computes A^T r = DCT(scatter(r)) into out (length n). The zeroing
 // stays serial: it compiles to a memclr that is far cheaper than goroutine
 // fan-out at these grid sizes.
 func (op *partialDCT) adjoint(out, r []float64) {
@@ -570,10 +594,96 @@ func StratifiedIndices(rng *rand.Rand, n, m int) ([]int, error) {
 	return out, nil
 }
 
+// StratifiedIndicesND draws exactly m flat row-major indices stratified over
+// an N-dimensional grid. The grid is split by recursive bisection of the
+// widest remaining axis, dividing the quota between the two halves in
+// proportion to their volumes, until each box holds a quota of one; a single
+// jittered point is then drawn uniformly inside each box. Boxes are disjoint,
+// so the m indices are distinct, and the split schedule depends only on
+// (dims, m), so identical rng state yields identical samples.
+//
+// For 1-D and 2-D grids core keeps the flat-bucket StratifiedIndices scheme
+// for bit-compatibility with earlier releases; this sampler is the ND
+// generalization used for 3+ axes.
+func StratifiedIndicesND(rng *rand.Rand, dims []int, m int) ([]int, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("cs: empty shape")
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("cs: invalid shape %v", dims)
+		}
+		n *= d
+	}
+	if m <= 0 || m > n {
+		return nil, fmt.Errorf("cs: cannot sample %d of %d points", m, n)
+	}
+	strides := make([]int, len(dims))
+	s := 1
+	for k := len(dims) - 1; k >= 0; k-- {
+		strides[k] = s
+		s *= dims[k]
+	}
+	out := make([]int, 0, m)
+	// walk recursively bisects the box [lo, hi) along its widest axis.
+	var walk func(lo, hi []int, quota int)
+	walk = func(lo, hi []int, quota int) {
+		if quota == 1 {
+			idx := 0
+			for k := range dims {
+				idx += (lo[k] + rng.Intn(hi[k]-lo[k])) * strides[k]
+			}
+			out = append(out, idx)
+			return
+		}
+		axis, widest := 0, 0
+		vol := 1
+		for k := range dims {
+			w := hi[k] - lo[k]
+			vol *= w
+			if w > widest {
+				axis, widest = k, w
+			}
+		}
+		mid := lo[axis] + widest/2
+		volA := vol / widest * (mid - lo[axis])
+		volB := vol - volA
+		// Split the quota in proportion to volume, clamped so each half's
+		// quota fits inside its half.
+		qa := quota * volA / vol
+		if qa < quota-volB {
+			qa = quota - volB
+		}
+		if qa > volA {
+			qa = volA
+		}
+		qb := quota - qa
+		loB := append([]int(nil), lo...)
+		hiA := append([]int(nil), hi...)
+		hiA[axis], loB[axis] = mid, mid
+		if qa > 0 {
+			walk(lo, hiA, qa)
+		}
+		if qb > 0 {
+			walk(loB, hi, qb)
+		}
+	}
+	lo := make([]int, len(dims))
+	walk(lo, append([]int(nil), dims...), m)
+	sort.Ints(out)
+	return out, nil
+}
+
 // Reconstruct1D recovers a length-n signal from samples at the given
 // indices. One-dimensional landscapes arise when OSCAR scans a single
-// circuit parameter (line cuts for quick diagnostics); the solver treats the
-// vector as a 1xN grid.
+// circuit parameter (line cuts for quick diagnostics). It routes through
+// ReconstructND with a single axis — bit-identical to the historical 1xN
+// Reconstruct2D routing, because a length-1 leading axis is an exact
+// identity pass the transform skips.
 func Reconstruct1D(n int, idx []int, y []float64, opt Options) (*Result, error) {
-	return Reconstruct2D(1, n, idx, y, opt)
+	if n <= 0 {
+		return nil, fmt.Errorf("cs: invalid length %d", n)
+	}
+	return ReconstructND([]int{n}, idx, y, opt)
 }

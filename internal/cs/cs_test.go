@@ -178,7 +178,7 @@ func TestAdjointProperty(t *testing.T) {
 	rows, cols := 9, 13
 	n := rows * cols
 	idx, _ := SampleIndices(rng, n, 40)
-	op := newPartialDCT(rows, cols, idx, 1)
+	op := newPartialDCT([]int{rows, cols}, idx, 1)
 	f := func(seed int64) bool {
 		r2 := rand.New(rand.NewSource(seed))
 		s := make([]float64, n)
@@ -214,7 +214,7 @@ func TestOperatorContraction(t *testing.T) {
 	rows, cols := 10, 14
 	n := rows * cols
 	idx, _ := SampleIndices(rng, n, 50)
-	op := newPartialDCT(rows, cols, idx, 1)
+	op := newPartialDCT([]int{rows, cols}, idx, 1)
 	for trial := 0; trial < 30; trial++ {
 		s := make([]float64, n)
 		for i := range s {

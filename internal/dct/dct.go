@@ -3,7 +3,6 @@ package dct
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 )
 
@@ -147,20 +146,16 @@ func InverseDirect(y []float64) []float64 {
 }
 
 // Plan2D computes separable orthonormal 2-D DCTs on row-major rows×cols
-// data. It is the sparsifying transform used by the compressed-sensing
-// solver: a landscape X is represented as X = IDCT2(S) with S sparse.
+// data. It is the sparsifying transform the compressed-sensing solver used
+// before the API went N-dimensional: a landscape X is represented as
+// X = IDCT2(S) with S sparse.
 //
-// A plan built with NewPlan2DWorkers shards the independent row-pass and
-// column-pass transforms across a worker pool. Each worker transforms whole
-// rows (or columns) with its own clone of the 1-D plan, so output is
-// bit-identical to the serial plan for every worker count.
+// Plan2D is the 2-axis special case of PlanND — it delegates every transform
+// to a PlanND over [rows, cols], so the two are bit-identical by
+// construction. New code should use PlanND directly; Plan2D remains as the
+// 2-D compatibility surface.
 type Plan2D struct {
-	rows, cols int
-	workers    int
-	rowPlans   []*Plan // one length-cols plan per worker slot
-	colPlans   []*Plan // one length-rows plan per worker slot
-	colBufs    [][]float64
-	colOuts    [][]float64
+	nd *PlanND
 }
 
 // serialMinSize is the grid size below which parallel plans fall back to a
@@ -179,60 +174,25 @@ func NewPlan2DWorkers(rows, cols, workers int) *Plan2D {
 	if rows <= 0 || cols <= 0 {
 		panic(fmt.Sprintf("dct: invalid 2-D DCT shape %dx%d", rows, cols))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if rows*cols < serialMinSize {
-		workers = 1
-	}
-	if m := max(rows, cols); workers > m {
-		workers = m
-	}
-	// Each pass can use at most one shard per row (or column), so a
-	// degenerate shape like the 1xN grids of Reconstruct1D does not
-	// allocate plan clones that could never run.
-	rowSlots := min(workers, rows)
-	colSlots := min(workers, cols)
-	p := &Plan2D{
-		rows:     rows,
-		cols:     cols,
-		workers:  workers,
-		rowPlans: make([]*Plan, rowSlots),
-		colPlans: make([]*Plan, colSlots),
-		colBufs:  make([][]float64, colSlots),
-		colOuts:  make([][]float64, colSlots),
-	}
-	p.rowPlans[0] = NewPlan(cols)
-	p.colPlans[0] = NewPlan(rows)
-	for w := 1; w < rowSlots; w++ {
-		p.rowPlans[w] = p.rowPlans[0].clone()
-	}
-	for w := 1; w < colSlots; w++ {
-		p.colPlans[w] = p.colPlans[0].clone()
-	}
-	for w := 0; w < colSlots; w++ {
-		p.colBufs[w] = make([]float64, rows)
-		p.colOuts[w] = make([]float64, rows)
-	}
-	return p
+	return &Plan2D{nd: NewPlanNDWorkers([]int{rows, cols}, workers)}
 }
 
 // Rows reports the number of rows the plan transforms.
-func (p *Plan2D) Rows() int { return p.rows }
+func (p *Plan2D) Rows() int { return p.nd.dims[0] }
 
 // Cols reports the number of columns the plan transforms.
-func (p *Plan2D) Cols() int { return p.cols }
+func (p *Plan2D) Cols() int { return p.nd.dims[1] }
 
 // Workers reports the effective worker count (1 after the small-grid serial
 // fallback).
-func (p *Plan2D) Workers() int { return p.workers }
+func (p *Plan2D) Workers() int { return p.nd.workers }
 
 // Forward computes the 2-D orthonormal DCT-II of src into dst (row-major,
 // length rows*cols). dst and src may alias.
-func (p *Plan2D) Forward(dst, src []float64) { p.apply(dst, src, true) }
+func (p *Plan2D) Forward(dst, src []float64) { p.nd.Forward(dst, src) }
 
 // Inverse computes the 2-D orthonormal DCT-III of src into dst.
-func (p *Plan2D) Inverse(dst, src []float64) { p.apply(dst, src, false) }
+func (p *Plan2D) Inverse(dst, src []float64) { p.nd.Inverse(dst, src) }
 
 // forShards splits [0, n) into w contiguous shards on the same deterministic
 // i*n/w boundaries internal/exec uses for chunking and runs fn once per
@@ -257,50 +217,4 @@ func forShards(w, n int, fn func(slot, lo, hi int)) {
 		}(slot, lo, hi)
 	}
 	wg.Wait()
-}
-
-func (p *Plan2D) apply(dst, src []float64, forward bool) {
-	n := p.rows * p.cols
-	if len(dst) != n || len(src) != n {
-		panic(fmt.Sprintf("dct: 2-D length mismatch dst=%d src=%d want=%d", len(dst), len(src), n))
-	}
-	if &dst[0] != &src[0] {
-		copy(dst, src)
-	}
-	// The length-1 orthonormal DCT is the exact identity (bit-for-bit), so
-	// a degenerate axis skips its pass entirely — 1xN grids (Reconstruct1D)
-	// would otherwise pay N trivial column transforms per application.
-	if p.cols > 1 {
-		forShards(p.workers, p.rows, func(slot, lo, hi int) {
-			plan := p.rowPlans[slot]
-			for r := lo; r < hi; r++ {
-				row := dst[r*p.cols : (r+1)*p.cols]
-				if forward {
-					plan.Forward(row, row)
-				} else {
-					plan.Inverse(row, row)
-				}
-			}
-		})
-	}
-	if p.rows == 1 {
-		return
-	}
-	forShards(p.workers, p.cols, func(slot, lo, hi int) {
-		plan := p.colPlans[slot]
-		buf, out := p.colBufs[slot], p.colOuts[slot]
-		for c := lo; c < hi; c++ {
-			for r := 0; r < p.rows; r++ {
-				buf[r] = dst[r*p.cols+c]
-			}
-			if forward {
-				plan.Forward(out, buf)
-			} else {
-				plan.Inverse(out, buf)
-			}
-			for r := 0; r < p.rows; r++ {
-				dst[r*p.cols+c] = out[r]
-			}
-		}
-	})
 }

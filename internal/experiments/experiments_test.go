@@ -23,6 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig2", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "speedup", "eager", "fleet",
+		"surrogate",
 	}
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {

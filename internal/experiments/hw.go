@@ -22,19 +22,30 @@ func hwSynth(ev *backend.AnalyticQAOA, grid *landscape.Grid, rng *rand.Rand, dri
 	if err != nil {
 		return nil, err
 	}
-	rows, cols, err := l.Shape2D()
-	if err != nil {
-		return nil, err
+	shape := l.Shape()
+	strides := make([]int, len(shape))
+	s := 1
+	for k := len(shape) - 1; k >= 0; k-- {
+		strides[k] = s
+		s *= shape[k]
 	}
-	// Smooth drift: a few random low-frequency DCT modes.
-	coeffs := make([]float64, rows*cols)
+	// Smooth drift: a few random low-frequency DCT modes. The per-axis
+	// rng.Intn(3) draws match the historical (row, col) draw order on 2-D
+	// grids, so 2-D hardware experiments are unchanged by the ND migration.
+	coeffs := make([]float64, len(l.Data))
 	for k := 0; k < 6; k++ {
-		r := rng.Intn(3)
-		c := rng.Intn(3)
-		coeffs[r*cols+c] = rng.NormFloat64()
+		idx := 0
+		for a, d := range shape {
+			mi := rng.Intn(3)
+			if mi >= d {
+				mi = d - 1
+			}
+			idx += mi * strides[a]
+		}
+		coeffs[idx] = rng.NormFloat64()
 	}
-	drift := make([]float64, rows*cols)
-	dct.NewPlan2D(rows, cols).Inverse(drift, coeffs)
+	drift := make([]float64, len(l.Data))
+	dct.NewPlanND(shape).Inverse(drift, coeffs)
 	// Scale drift to driftAmp * the landscape's value spread.
 	minV, _ := l.Min()
 	maxV, _ := l.Max()

@@ -1,7 +1,9 @@
-// Package interp implements natural cubic spline interpolation in one and
-// two dimensions. OSCAR interpolates reconstructed landscapes so classical
+// Package interp implements natural cubic spline interpolation in one, two,
+// and N dimensions. OSCAR interpolates reconstructed landscapes so classical
 // optimizers can query arbitrary continuous parameter values without running
-// circuits (Section 7 of the paper uses rectangular bivariate splines).
+// circuits (Section 7 of the paper uses rectangular bivariate splines; the
+// tensor-product NDSpline extends the same construction to p>1 QAOA
+// landscapes with 2p parameter axes).
 package interp
 
 import (

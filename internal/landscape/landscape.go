@@ -181,7 +181,17 @@ func (l *Landscape) Clone() *Landscape {
 	return &Landscape{Grid: l.Grid, Data: d}
 }
 
+// Shape returns the per-axis lengths of the landscape (last axis fastest in
+// Data's row-major layout) — the dims an N-dimensional DCT or reconstruction
+// over Data expects. For a classic 2-axis landscape it returns the historical
+// {rows, cols} pair.
+func (l *Landscape) Shape() []int { return l.Grid.Dims() }
+
 // Shape2D returns (rows, cols) for a 2-axis landscape.
+//
+// Deprecated: use Shape, which handles any axis count; Shape2D remains for
+// callers hard-wired to the paper's 2-D (beta, gamma) layout and errors on
+// anything else.
 func (l *Landscape) Shape2D() (rows, cols int, err error) {
 	if len(l.Grid.Axes) != 2 {
 		return 0, 0, fmt.Errorf("landscape: %d axes, want 2", len(l.Grid.Axes))
@@ -195,6 +205,12 @@ func (l *Landscape) Shape2D() (rows, cols int, err error) {
 // data layout is unchanged — only the axes metadata is rewritten; the
 // resulting synthetic axes record index positions rather than parameter
 // values.
+//
+// Deprecated: the concatenation reshape predates N-dimensional
+// reconstruction. Depth-2 grids now solve directly as 4-D tensors
+// (cs.ReconstructND via core.Reconstruct), which preserves the real axes and
+// their parameter values; nothing in the pipeline needs the 2-D relabeling
+// anymore. Kept only so pre-ND analysis code keeps compiling.
 func (l *Landscape) Reshape4DTo2D() (*Landscape, error) {
 	if len(l.Grid.Axes) != 4 {
 		return nil, fmt.Errorf("landscape: reshape needs 4 axes, got %d", len(l.Grid.Axes))

@@ -106,20 +106,21 @@ func variance(x []float64) float64 {
 }
 
 // DCTEnergyFraction computes the Table 4 sparsity measure: the smallest
-// fraction of 2-D DCT coefficients whose squared magnitudes hold the given
+// fraction of DCT coefficients whose squared magnitudes hold the given
 // fraction (e.g. 0.99) of the landscape's total spectral energy. The DC
 // coefficient is excluded from both numerator and denominator so the measure
-// reflects the structure of the landscape rather than its mean offset.
+// reflects the structure of the landscape rather than its mean offset. The
+// transform matches the landscape's arity — 2-D for the paper's grids, a
+// separable N-D DCT for p>1 landscapes.
 func DCTEnergyFraction(l *Landscape, energy float64) (float64, error) {
 	if energy <= 0 || energy > 1 {
 		return 0, fmt.Errorf("landscape: energy fraction %g out of (0,1]", energy)
 	}
-	rows, cols, err := l.Shape2D()
-	if err != nil {
-		return 0, err
+	if len(l.Grid.Axes) == 0 || len(l.Data) != l.Grid.Size() {
+		return 0, fmt.Errorf("landscape: data length %d does not match grid size %d", len(l.Data), l.Grid.Size())
 	}
 	coeffs := make([]float64, len(l.Data))
-	dct.NewPlan2D(rows, cols).Forward(coeffs, l.Data)
+	dct.NewPlanND(l.Shape()).Forward(coeffs, l.Data)
 	mags := make([]float64, 0, len(coeffs)-1)
 	var total float64
 	for i, c := range coeffs {

@@ -73,6 +73,46 @@ func TestSubmitWaitHappyPath(t *testing.T) {
 	}
 }
 
+// TestP2JobEndToEnd runs a depth-2 QAOA job through the grid shorthand's new
+// "p" field: 4 parameter axes, a true 4-D reconstruction, and ND-clean
+// min/max points with one coordinate per axis.
+func TestP2JobEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{
+		"problem": {"kind": "maxcut3", "n": 8, "seed": 7},
+		"backend": {"kind": "statevector", "ansatz": "qaoa", "depth": 2},
+		"grid": {"beta_n": 5, "gamma_n": 5, "p": 2},
+		"options": {"sampling_fraction": 0.3, "seed": 1},
+		"wait": true
+	}`
+	rec, out := do(t, s, "POST", "/jobs", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, out)
+	}
+	if out["state"] != string(StateDone) {
+		t.Fatalf("state %v (%v)", out["state"], out["error"])
+	}
+	res, _ := out["result"].(map[string]any)
+	if res == nil {
+		t.Fatalf("no result: %v", out)
+	}
+	if got := res["grid_size"].(float64); got != 5*5*5*5 {
+		t.Fatalf("grid_size %v, want 625", got)
+	}
+	for _, key := range []string{"min_point", "max_point"} {
+		pt, _ := res[key].([]any)
+		if len(pt) != 4 {
+			t.Fatalf("%s = %v, want 4 coordinates (one per depth-2 axis)", key, res[key])
+		}
+		for i, c := range pt {
+			v := c.(float64)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s[%d] = %v", key, i, v)
+			}
+		}
+	}
+}
+
 func TestSecondIdenticalJobHitsCache(t *testing.T) {
 	s := newTestServer(t, Config{})
 	do(t, s, "POST", "/jobs", smallJob())
@@ -134,16 +174,19 @@ func TestMalformedJSON(t *testing.T) {
 func TestBadSpecs(t *testing.T) {
 	s := newTestServer(t, Config{MaxGridPoints: 1000, MaxQubits: 12})
 	cases := map[string]string{
-		"unknown problem": `{"problem":{"kind":"nope"},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
-		"oversized grid":  `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"analytic"},"grid":{"beta_n":50,"gamma_n":50},"options":{"sampling_fraction":0.1}}`,
-		"too many qubits": `{"problem":{"kind":"maxcut3","n":14},"backend":{"kind":"statevector"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
-		"bad fraction":    `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":1.5}}`,
-		"arity mismatch":  `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"statevector","depth":2},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
-		"odd axes":        `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"analytic"},"grid":{"axes":[{"name":"x","min":0,"max":1,"n":4}]},"options":{"sampling_fraction":0.5}}`,
-		"density too big": `{"problem":{"kind":"sk","n":14},"backend":{"kind":"density"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
-		"non-graph qaoa":  `{"problem":{"kind":"h2"},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
-		"odd maxcut3 n":   `{"problem":{"kind":"maxcut3","n":5},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
-		"degenerate mesh": `{"problem":{"kind":"mesh","rows":0,"cols":0},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
+		"unknown problem":         `{"problem":{"kind":"nope"},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
+		"oversized grid":          `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"analytic"},"grid":{"beta_n":50,"gamma_n":50},"options":{"sampling_fraction":0.1}}`,
+		"too many qubits":         `{"problem":{"kind":"maxcut3","n":14},"backend":{"kind":"statevector"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
+		"bad fraction":            `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":1.5}}`,
+		"arity mismatch":          `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"statevector","depth":2},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
+		"1 axis, 2-param backend": `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"analytic"},"grid":{"axes":[{"name":"x","min":0,"max":1,"n":4}]},"options":{"sampling_fraction":0.5}}`,
+		"negative p":              `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4,"p":-1},"options":{"sampling_fraction":0.5}}`,
+		"p with explicit axes":    `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"analytic"},"grid":{"p":2,"axes":[{"name":"x","min":0,"max":1,"n":4},{"name":"y","min":0,"max":1,"n":4}]},"options":{"sampling_fraction":0.5}}`,
+		"p=2 vs depth-1 backend":  `{"problem":{"kind":"maxcut3","n":8},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4,"p":2},"options":{"sampling_fraction":0.5}}`,
+		"density too big":         `{"problem":{"kind":"sk","n":14},"backend":{"kind":"density"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
+		"non-graph qaoa":          `{"problem":{"kind":"h2"},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
+		"odd maxcut3 n":           `{"problem":{"kind":"maxcut3","n":5},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
+		"degenerate mesh":         `{"problem":{"kind":"mesh","rows":0,"cols":0},"backend":{"kind":"analytic"},"grid":{"beta_n":4,"gamma_n":4},"options":{"sampling_fraction":0.5}}`,
 	}
 	for name, body := range cases {
 		rec, out := do(t, s, "POST", "/jobs", body)

@@ -94,13 +94,21 @@ type AxisSpec struct {
 }
 
 // GridSpec is either the QAOA shorthand (the paper's Table 1 beta/gamma
-// grid) or an explicit axis list.
+// grid, optionally at depth p) or an explicit axis list. Reconstruction is
+// N-dimensional, so any axis count >= 1 is accepted as long as it matches
+// the backend's parameter count.
 type GridSpec struct {
-	// BetaN, GammaN select the QAOA shorthand grid resolution.
+	// BetaN, GammaN select the QAOA shorthand grid resolution (per axis).
 	BetaN  int `json:"beta_n,omitempty"`
 	GammaN int `json:"gamma_n,omitempty"`
-	// Axes overrides the shorthand with explicit axes (must be an even
-	// count >= 2: the solver reshapes them into a 2-D image).
+	// P is the QAOA depth of the shorthand grid. Omitted or 1 builds the
+	// classic 2-axis (beta, gamma) grid; p >= 2 builds the full 2p-axis
+	// grid (beta1..betap, gamma1..gammap), each beta axis at BetaN points
+	// and each gamma axis at GammaN — pair it with a backend of matching
+	// depth. Negative p is rejected, as is combining p with explicit Axes.
+	P int `json:"p,omitempty"`
+	// Axes overrides the shorthand with explicit axes (any count >= 1;
+	// the solver runs a true N-dimensional reconstruction).
 	Axes []AxisSpec `json:"axes,omitempty"`
 }
 
@@ -319,13 +327,16 @@ func buildEvaluator(bs BackendSpec, p *problem.Problem, maxQubits int) (backend.
 }
 
 func buildGrid(gs GridSpec, maxPoints int) (*landscape.Grid, error) {
+	if gs.P < 0 {
+		return nil, specErrorf("grid: p must be >= 1, got %d", gs.P)
+	}
 	var axes []landscape.Axis
 	if len(gs.Axes) > 0 {
 		if gs.BetaN != 0 || gs.GammaN != 0 {
 			return nil, specErrorf("grid: give either beta_n/gamma_n or axes, not both")
 		}
-		if len(gs.Axes)%2 != 0 {
-			return nil, specErrorf("grid: reconstruction needs an even number of axes, got %d", len(gs.Axes))
+		if gs.P != 0 {
+			return nil, specErrorf("grid: p is the QAOA-shorthand depth; give either p or axes, not both")
 		}
 		for _, a := range gs.Axes {
 			if !isFinite(a.Min) || !isFinite(a.Max) {
@@ -337,10 +348,23 @@ func buildGrid(gs GridSpec, maxPoints int) (*landscape.Grid, error) {
 		if gs.BetaN < 2 || gs.GammaN < 2 {
 			return nil, specErrorf("grid: beta_n and gamma_n must be >= 2 (or give explicit axes)")
 		}
-		bMin, bMax, gMin, gMax := ansatz.QAOAGridAxes(1)
-		axes = []landscape.Axis{
-			{Name: "beta", Min: bMin, Max: bMax, N: gs.BetaN},
-			{Name: "gamma", Min: gMin, Max: gMax, N: gs.GammaN},
+		p := gs.P
+		if p == 0 {
+			p = 1
+		}
+		bMin, bMax, gMin, gMax := ansatz.QAOAGridAxes(p)
+		if p == 1 {
+			axes = []landscape.Axis{
+				{Name: "beta", Min: bMin, Max: bMax, N: gs.BetaN},
+				{Name: "gamma", Min: gMin, Max: gMax, N: gs.GammaN},
+			}
+		} else {
+			for i := 1; i <= p; i++ {
+				axes = append(axes, landscape.Axis{Name: fmt.Sprintf("beta%d", i), Min: bMin, Max: bMax, N: gs.BetaN})
+			}
+			for i := 1; i <= p; i++ {
+				axes = append(axes, landscape.Axis{Name: fmt.Sprintf("gamma%d", i), Min: gMin, Max: gMax, N: gs.GammaN})
+			}
 		}
 	}
 	// Reject oversized grids before allocating anything: the axis counts

@@ -26,6 +26,7 @@ package oscar
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -74,9 +75,31 @@ type (
 	OptimizerResult = optimizer.Result
 	// NCModel is a fitted noise-compensation model.
 	NCModel = ncm.Model
-	// Bicubic is an interpolated landscape surface.
+	// Bicubic is an interpolated 2-D landscape surface, the paper's
+	// rectangular bivariate spline. It satisfies Interpolator (Arity 2)
+	// and remains the fast path Interpolate picks for 2-axis landscapes.
 	Bicubic = interp.Bicubic
+	// NDSpline is an interpolated N-dimensional landscape surface — the
+	// tensor-product cubic spline Interpolate fits when a landscape has
+	// more (or fewer) than 2 axes, e.g. the 2p axes of depth-p QAOA. On
+	// 2-axis grids it agrees with Bicubic bit for bit.
+	NDSpline = interp.NDSpline
 )
+
+// Interpolator is a continuously queryable surrogate of a reconstructed
+// landscape, independent of its dimensionality. Bicubic (2-D fast path) and
+// NDSpline (any arity) both satisfy it; Interpolate picks between them by
+// the landscape's axis count.
+type Interpolator interface {
+	// Arity reports the number of parameter axes.
+	Arity() int
+	// AtPoint evaluates the surrogate at a parameter vector of length
+	// Arity (out-of-range coordinates clamp to the boundary segments).
+	AtPoint(p []float64) float64
+	// GradientAt estimates the gradient at p by central differences with
+	// grid-spacing-proportional steps.
+	GradientAt(p []float64) []float64
+}
 
 // Batched execution engine types. Every evaluation fan-out in the library —
 // landscape scans, reconstruction sampling, optimizer stencils, ZNE sweeps,
@@ -183,6 +206,32 @@ func QAOAGrid(p, betaN, gammaN int) (*Grid, error) {
 	)
 }
 
+// QAOAGridP builds the full 2p-axis parameter grid for depth-p QAOA:
+// axes beta1..betap (resolution betaN each) followed by gamma1..gammap
+// (resolution gammaN each), matching the ansatz's [betas..., gammas...]
+// parameter order. For p == 1 it returns exactly QAOAGrid's classic 2-axis
+// (beta, gamma) grid, so existing depth-1 code can migrate without change.
+// Unlike QAOAGrid — whose 2 axes stand for a landscape *slice* at any depth —
+// the grid spans every circuit parameter, which is what ND reconstruction
+// (cs.ReconstructND via Reconstruct) and surrogate descent need for p > 1.
+func QAOAGridP(p, betaN, gammaN int) (*Grid, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("oscar: QAOA depth %d < 1", p)
+	}
+	if p == 1 {
+		return QAOAGrid(1, betaN, gammaN)
+	}
+	bMin, bMax, gMin, gMax := ansatz.QAOAGridAxes(p)
+	axes := make([]Axis, 0, 2*p)
+	for i := 1; i <= p; i++ {
+		axes = append(axes, Axis{Name: fmt.Sprintf("beta%d", i), Min: bMin, Max: bMax, N: betaN})
+	}
+	for i := 1; i <= p; i++ {
+		axes = append(axes, Axis{Name: fmt.Sprintf("gamma%d", i), Min: gMin, Max: gMax, N: gammaN})
+	}
+	return landscape.NewGrid(axes...)
+}
+
 // NRMSE is the paper's reconstruction-error metric (Equation 1).
 func NRMSE(truth, recon *Landscape) (float64, error) {
 	return landscape.NRMSE(truth.Data, recon.Data)
@@ -283,31 +332,121 @@ func DepolarizingNoise(name string, p1, p2 float64) NoiseProfile {
 
 // Interpolation and optimization on reconstructed landscapes.
 
-// Interpolate fits the paper's rectangular bivariate spline to a 2-D
-// landscape so optimizers can query it continuously.
-func Interpolate(l *Landscape) (*Bicubic, error) {
-	if _, _, err := l.Shape2D(); err != nil {
-		return nil, err
+// Interpolate fits a continuously queryable spline surrogate to a
+// reconstructed landscape of any dimensionality. A 2-axis landscape gets the
+// paper's rectangular bivariate spline (Bicubic — bit-identical to the
+// historical 2-D-only Interpolate); any other axis count gets the
+// tensor-product NDSpline, so p>1 QAOA landscapes interpolate the same way.
+func Interpolate(l *Landscape) (Interpolator, error) {
+	if len(l.Grid.Axes) == 2 {
+		return interp.NewBicubic(l.Grid.Axes[0].Values(), l.Grid.Axes[1].Values(), l.Data)
 	}
-	return interp.NewBicubic(l.Grid.Axes[0].Values(), l.Grid.Axes[1].Values(), l.Data)
+	axes := make([][]float64, len(l.Grid.Axes))
+	for i, a := range l.Grid.Axes {
+		axes[i] = a.Values()
+	}
+	return interp.NewNDSpline(axes, l.Data)
 }
 
 // InterpolatedObjective adapts an interpolated landscape into an optimizer
-// objective (an instant, QPU-free cost query).
-func InterpolatedObjective(b *Bicubic) optimizer.Objective {
+// objective (an instant, QPU-free cost query) for any arity.
+func InterpolatedObjective(ip Interpolator) optimizer.Objective {
 	return func(x []float64) (float64, error) {
-		if len(x) < 2 {
-			return 0, errInterpArity
+		if len(x) != ip.Arity() {
+			return 0, fmt.Errorf("oscar: interpolated objective needs %d parameters, got %d", ip.Arity(), len(x))
 		}
-		return b.At(x[0], x[1]), nil
+		return ip.AtPoint(x), nil
 	}
 }
 
-var errInterpArity = errArity{}
+// SurrogateOptions configures OptimizeOnSurrogate.
+type SurrogateOptions struct {
+	// Recon configures the reconstruction phase (sampling fraction, seed,
+	// workers, solver). SamplingFraction is required, as in Reconstruct.
+	Recon Options
+	// Method selects the descent algorithm on the surrogate: "adam"
+	// (default) or "cobyla".
+	Method string
+	// ADAM configures the ADAM descent; zero values take the optimizer's
+	// defaults, and empty Bounds default to the grid's axis ranges.
+	ADAM optimizer.ADAMOptions
+	// Cobyla configures the COBYLA descent when Method == "cobyla"; empty
+	// Bounds default to the grid's axis ranges.
+	Cobyla optimizer.CobylaOptions
+	// Start optionally fixes the descent's starting point. When nil the
+	// descent starts from the reconstructed landscape's minimum grid
+	// point — the coarse-to-fine handoff OSCAR's Section 7 workflow uses.
+	Start []float64
+}
 
-type errArity struct{}
+// SurrogateResult reports every artifact of a surrogate-descent run.
+type SurrogateResult struct {
+	// Landscape is the reconstructed coarse landscape.
+	Landscape *Landscape
+	// Stats carries the reconstruction's cost and solver diagnostics.
+	Stats *Stats
+	// Surrogate is the continuously queryable interpolant the descent ran
+	// on (Bicubic for 2 axes, NDSpline otherwise).
+	Surrogate Interpolator
+	// Optimum is the descent's outcome; Optimum.X is the refined
+	// parameter vector.
+	Optimum *OptimizerResult
+}
 
-func (errArity) Error() string { return "oscar: interpolated objective needs 2 parameters" }
+// OptimizeOnSurrogate closes the OSCAR loop for any QAOA depth: reconstruct
+// a coarse landscape from a small sample of circuit executions, interpolate
+// it, then descend on the interpolated surrogate — which costs zero further
+// quantum evaluations — to refine the optimum to continuous parameters. The
+// grid's dimensionality is unrestricted: a QAOAGridP(p, ...) grid runs the
+// whole pipeline at depth p through ND reconstruction and NDSpline
+// interpolation, while classic 2-axis grids keep the Bicubic fast path.
+func OptimizeOnSurrogate(ctx context.Context, g *Grid, be BatchEvaluator, opt SurrogateOptions) (*SurrogateResult, error) {
+	l, stats, err := core.ReconstructBatch(ctx, g, be, opt.Recon)
+	if err != nil {
+		return nil, err
+	}
+	ip, err := Interpolate(l)
+	if err != nil {
+		return nil, err
+	}
+	start := opt.Start
+	if start == nil {
+		_, argMin := l.Min()
+		if argMin < 0 {
+			return nil, fmt.Errorf("oscar: reconstructed landscape has no finite values")
+		}
+		start = l.Grid.Point(argMin)
+	}
+	if len(start) != ip.Arity() {
+		return nil, fmt.Errorf("oscar: start point has %d parameters, grid has %d axes", len(start), ip.Arity())
+	}
+	bounds := make([]optimizer.Bounds, len(g.Axes))
+	for i, a := range g.Axes {
+		bounds[i] = optimizer.Bounds{Lo: a.Min, Hi: a.Max}
+	}
+	obj := InterpolatedObjective(ip)
+	var res *OptimizerResult
+	switch opt.Method {
+	case "", "adam":
+		ao := opt.ADAM
+		if ao.Bounds == nil {
+			ao.Bounds = bounds
+		}
+		res, err = optimizer.ADAM(obj, start, ao)
+	case "cobyla":
+		co := opt.Cobyla
+		if co.Bounds == nil {
+			co.Bounds = bounds
+		}
+		res, err = optimizer.Cobyla(obj, start, co)
+	default:
+		return nil, fmt.Errorf("oscar: unknown surrogate method %q", opt.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &SurrogateResult{Landscape: l, Stats: stats, Surrogate: ip, Optimum: res}, nil
+}
 
 // RunADAM minimizes an objective with ADAM (finite-difference gradients).
 func RunADAM(f optimizer.Objective, x0 []float64, opt optimizer.ADAMOptions) (*OptimizerResult, error) {

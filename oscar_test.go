@@ -174,6 +174,98 @@ func TestPublicWorkflow(t *testing.T) {
 	if _, err := obj([]float64{1}); err == nil {
 		t.Fatal("want arity error from interpolated objective")
 	}
+	// The 2-axis fast path still hands back the paper's bivariate spline.
+	if _, ok := surf.(*Bicubic); !ok {
+		t.Fatalf("2-axis Interpolate returned %T, want *Bicubic", surf)
+	}
+}
+
+// TestP2PublicWorkflow is the PR's p=2 acceptance criterion: a depth-2 QAOA
+// workload runs end to end through the public API — QAOAGridP(2, ...) →
+// ReconstructBatch → Interpolate → OptimizeOnSurrogate — with a true 4-D
+// reconstruction and a 4-parameter surrogate descent.
+func TestP2PublicWorkflow(t *testing.T) {
+	prob, err := MeshMaxCut(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := QAOAAnsatz(prob, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewStateVector(prob, ans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := QAOAGridP(2, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Axes) != 4 {
+		t.Fatalf("%d axes, want 4", len(grid.Axes))
+	}
+	wantNames := []string{"beta1", "beta2", "gamma1", "gamma2"}
+	for i, a := range grid.Axes {
+		if a.Name != wantNames[i] {
+			t.Fatalf("axis %d named %q, want %q", i, a.Name, wantNames[i])
+		}
+	}
+	ctx := context.Background()
+	recon, stats, err := ReconstructBatch(ctx, grid, Batch(dev), Options{SamplingFraction: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GridSize != 6*6*7*7 {
+		t.Fatalf("grid size %d", stats.GridSize)
+	}
+	surf, err := Interpolate(recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := surf.(*NDSpline); !ok {
+		t.Fatalf("4-axis Interpolate returned %T, want *NDSpline", surf)
+	}
+	if surf.Arity() != 4 {
+		t.Fatalf("surrogate arity %d, want 4", surf.Arity())
+	}
+	res, err := OptimizeOnSurrogate(ctx, grid, Batch(dev), SurrogateOptions{
+		Recon: Options{SamplingFraction: 0.3, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Optimum.X) != 4 {
+		t.Fatalf("optimum has %d parameters, want 4", len(res.Optimum.X))
+	}
+	minV, _ := res.Landscape.Min()
+	if res.Optimum.F > minV+1e-9 {
+		t.Fatalf("surrogate descent ended at %g, above the grid minimum %g", res.Optimum.F, minV)
+	}
+	// The surrogate optimum is a real improvement on the true landscape:
+	// re-evaluating it on the circuit beats the median grid value.
+	atOpt, err := dev.Evaluate(res.Optimum.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := GenerateDense(grid, dev.Evaluate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMin, _ := truth.Min()
+	if atOpt > trueMin+0.5 {
+		t.Fatalf("surrogate optimum evaluates to %g on the circuit; true minimum is %g", atOpt, trueMin)
+	}
+	// QAOAGridP degenerates to the classic grid at p=1 and rejects p<1.
+	g1, err := QAOAGridP(1, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Axes) != 2 || g1.Axes[0].Name != "beta" || g1.Axes[1].Name != "gamma" {
+		t.Fatalf("QAOAGridP(1) axes %v", g1.Axes)
+	}
+	if _, err := QAOAGridP(0, 8, 9); err == nil {
+		t.Fatal("want error for p < 1")
+	}
 }
 
 func TestPublicProblemConstructors(t *testing.T) {
