@@ -74,6 +74,11 @@ func BenchmarkSpeedup(b *testing.B) { runExperiment(b, "speedup") }
 func BenchmarkEager(b *testing.B)   { runExperiment(b, "eager") }
 func BenchmarkFleet(b *testing.B)   { runExperiment(b, "fleet") }
 
+// BenchmarkAdversarial regenerates the chaos-hardened fleet table: four
+// injected device-failure scenarios, each comparing fixed, adaptive, and
+// risk-aware scheduling at equal reconstruction quality.
+func BenchmarkAdversarial(b *testing.B) { runExperiment(b, "adversarial") }
+
 // BenchmarkFleetAdaptive pits adaptive batch sizing against fixed batch
 // sizes on a 3-device heterogeneous fleet (queue/exec ratios 120:1, 6:1,
 // 0.8:1): each sub-benchmark runs the 500-job fleet schedule and reports the

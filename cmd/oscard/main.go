@@ -1,9 +1,13 @@
 // Command oscard is the OSCAR reconstruction daemon: a long-running HTTP
 // server that accepts reconstruction jobs as JSON, runs them through a
 // shared execution engine with a bounded worker pool, and memoizes circuit
-// executions per device configuration across requests. On shutdown
-// (SIGINT/SIGTERM) it drains in-flight jobs and spills its caches to
-// -cache-file, from which the next start warm-starts.
+// executions per device configuration across requests. Fleet-mode jobs
+// dispatch sampling across virtual multi-QPU fleets, optionally under
+// injected fault scenarios (drift, dropouts, correlated queue spikes and
+// retry storms) with risk-aware scheduling — retries, quarantine events,
+// and learned tail estimates surface through /jobs, /stats, and /metrics.
+// On shutdown (SIGINT/SIGTERM) it drains in-flight jobs and spills its
+// caches to -cache-file, from which the next start warm-starts.
 //
 // Usage:
 //

@@ -87,26 +87,27 @@ type Generator func(Config) (*Table, error)
 // Registry maps experiment IDs to their generators.
 func Registry() map[string]Generator {
 	return map[string]Generator{
-		"table1":    Table1,
-		"table2":    Table2,
-		"table3":    Table3,
-		"table4":    Table4,
-		"table5":    Table5,
-		"table6":    Table6,
-		"fig2":      Fig2,
-		"fig4":      Fig4,
-		"fig5":      Fig5,
-		"fig6":      Fig6,
-		"fig8":      Fig8,
-		"fig9":      Fig9,
-		"fig10":     Fig10,
-		"fig11":     Fig11,
-		"fig12":     Fig12,
-		"fig13":     Fig13,
-		"speedup":   Speedup,
-		"eager":     Eager,
-		"fleet":     Fleet,
-		"surrogate": SurrogateP2,
+		"table1":      Table1,
+		"table2":      Table2,
+		"table3":      Table3,
+		"table4":      Table4,
+		"table5":      Table5,
+		"table6":      Table6,
+		"fig2":        Fig2,
+		"fig4":        Fig4,
+		"fig5":        Fig5,
+		"fig6":        Fig6,
+		"fig8":        Fig8,
+		"fig9":        Fig9,
+		"fig10":       Fig10,
+		"fig11":       Fig11,
+		"fig12":       Fig12,
+		"fig13":       Fig13,
+		"speedup":     Speedup,
+		"eager":       Eager,
+		"fleet":       Fleet,
+		"adversarial": Adversarial,
+		"surrogate":   SurrogateP2,
 	}
 }
 

@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig2", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "speedup", "eager", "fleet",
-		"surrogate",
+		"adversarial", "surrogate",
 	}
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -270,6 +270,49 @@ func TestFleetShape(t *testing.T) {
 	}
 	if eager := times[4]; eager > adaptive {
 		t.Errorf("eager cut %.0f slower than full wait %.0f", eager, adaptive)
+	}
+}
+
+// TestAdversarialShape checks the chaos table: four scenarios × three
+// strategies, equal NRMSE within each scenario, risk-aware at or below the
+// tail-blind adaptive makespan everywhere, and failure scenarios actually
+// producing retries.
+func TestAdversarialShape(t *testing.T) {
+	tab, err := Adversarial(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(tab.Rows))
+	}
+	for s := 0; s < 4; s++ {
+		scenario := tab.Rows[3*s][0]
+		adaptive := cell(t, tab, 3*s+1, 2)
+		risk := cell(t, tab, 3*s+2, 2)
+		if risk > adaptive {
+			t.Errorf("%s: risk-aware makespan %g exceeds adaptive %g", scenario, risk, adaptive)
+		}
+		for r := 3 * s; r < 3*s+3; r++ {
+			if tab.Rows[r][5] != tab.Rows[3*s][5] {
+				t.Errorf("%s: NRMSE differs across strategies: %q vs %q",
+					scenario, tab.Rows[r][5], tab.Rows[3*s][5])
+			}
+		}
+	}
+	// Dropout and retry-storm inject failures; both schedulers must retry.
+	for _, s := range []int{1, 3} {
+		for r := 3*s + 1; r < 3*s+3; r++ {
+			if cell(t, tab, r, 3) == 0 {
+				t.Errorf("%s/%s: no retries under injected failures",
+					tab.Rows[r][0], tab.Rows[r][1])
+			}
+		}
+	}
+	// The risk-aware scheduler must quarantine under dropout and storm.
+	for _, s := range []int{1, 3} {
+		if cell(t, tab, 3*s+2, 4) == 0 {
+			t.Errorf("%s: risk-aware run never quarantined", tab.Rows[3*s][0])
+		}
 	}
 }
 

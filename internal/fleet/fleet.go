@@ -63,6 +63,13 @@ type Progress struct {
 	// BatchSizes are the per-device learned batch sizes as of the latest
 	// merged batch.
 	BatchSizes []int
+	// Quarantined flags the devices that were benched as of the latest
+	// merged batch (risk-aware runs; all false otherwise).
+	Quarantined []bool
+	// Retries and QuarantineEvents are the run's planned totals: failed
+	// dispatches that were retried or re-dispatched, and quarantine
+	// transitions (bench + re-admit).
+	Retries, QuarantineEvents int
 }
 
 // Options configures a Scheduler.
@@ -108,6 +115,45 @@ type Options struct {
 	// OnProgress, when set, is called from the streaming goroutine after
 	// every merged batch and interim solve.
 	OnProgress func(Progress)
+
+	// RiskAware enables the robustness policy layer on top of adaptive
+	// scheduling: per-device tail estimators cap batch sizes so expected
+	// tail exposure per batch stays bounded, failed batches retry with
+	// exponential backoff in virtual time before being re-dispatched to a
+	// different device, and a device whose failures cross the quarantine
+	// thresholds is benched and periodically re-probed with a single small
+	// batch. Off by default — the tail-blind adaptive scheduler is the
+	// baseline the adversarial experiments compare against.
+	RiskAware bool
+	// TailBudget bounds a batch's expected tail exposure — learned tail
+	// probability × (magnitude−1) × batch latency — to TailBudget× the
+	// fleet's typical non-tail batch duration (default 6). Smaller is more
+	// conservative. RiskAware only.
+	TailBudget float64
+	// MaxRetries bounds in-place retries of a failed batch on one device
+	// before it is re-dispatched to a different device (default 1).
+	// RiskAware only.
+	MaxRetries int
+	// RetryBackoff is the initial virtual-time backoff in seconds after a
+	// failed batch, doubling per consecutive in-place retry (default 15).
+	// RiskAware only.
+	RetryBackoff float64
+	// QuarantineAfter benches a device after this many consecutive failed
+	// dispatches (default 3). RiskAware only.
+	QuarantineAfter int
+	// QuarantineFailRate benches a device whose EWMA dispatch-failure rate
+	// reaches this threshold (default 0.9). RiskAware only.
+	QuarantineFailRate float64
+	// QuarantineTailRate, when positive, benches a device whose EWMA
+	// tail-event rate reaches this threshold. Default 0 (disabled): tail-
+	// heavy devices are throttled through batch caps and dispatch
+	// penalties instead, since a probe batch succeeding says nothing about
+	// the tail having passed. RiskAware only.
+	QuarantineTailRate float64
+	// ProbeBackoff is the virtual-time interval in seconds at which a
+	// benched device is re-probed with a single small batch (default 60).
+	// RiskAware only.
+	ProbeBackoff float64
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -151,6 +197,45 @@ func (o Options) withDefaults() (Options, error) {
 		}
 		o.Thresholds = ts
 	}
+	if o.TailBudget < 0 || math.IsNaN(o.TailBudget) {
+		return o, fmt.Errorf("fleet: tail budget %g is not a non-negative number", o.TailBudget)
+	}
+	if o.MaxRetries < 0 {
+		return o, fmt.Errorf("fleet: negative max retries %d", o.MaxRetries)
+	}
+	if o.RetryBackoff < 0 || math.IsNaN(o.RetryBackoff) {
+		return o, fmt.Errorf("fleet: retry backoff %g is not a non-negative number", o.RetryBackoff)
+	}
+	if o.QuarantineAfter < 0 {
+		return o, fmt.Errorf("fleet: negative quarantine-after %d", o.QuarantineAfter)
+	}
+	if o.QuarantineFailRate < 0 || o.QuarantineFailRate > 1 || math.IsNaN(o.QuarantineFailRate) {
+		return o, fmt.Errorf("fleet: quarantine failure rate %g out of [0,1]", o.QuarantineFailRate)
+	}
+	if o.QuarantineTailRate < 0 || o.QuarantineTailRate > 1 || math.IsNaN(o.QuarantineTailRate) {
+		return o, fmt.Errorf("fleet: quarantine tail rate %g out of [0,1]", o.QuarantineTailRate)
+	}
+	if o.ProbeBackoff < 0 || math.IsNaN(o.ProbeBackoff) {
+		return o, fmt.Errorf("fleet: probe backoff %g is not a non-negative number", o.ProbeBackoff)
+	}
+	if o.TailBudget == 0 {
+		o.TailBudget = 6
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 1
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 15
+	}
+	if o.QuarantineAfter == 0 {
+		o.QuarantineAfter = 3
+	}
+	if o.QuarantineFailRate == 0 {
+		o.QuarantineFailRate = 0.9
+	}
+	if o.ProbeBackoff == 0 {
+		o.ProbeBackoff = 60
+	}
 	return o, nil
 }
 
@@ -166,6 +251,27 @@ type devState struct {
 	batch   int
 	batches int
 	jobs    int
+
+	// tailProb and tailMag are EWMAs of the tail behavior observed on this
+	// device: the probability a batch's latency blows past its expectation
+	// and the magnitude (observed/expected) when it does. Always tracked;
+	// they only influence scheduling under Options.RiskAware, and only
+	// once the evidence is sustained (see tailSignificant).
+	tailProb, tailMag float64
+	tailSeen          bool
+	tailCount         int
+	// failRate is an EWMA over dispatch outcomes (1 = failed), consecFails
+	// the current consecutive-failure streak, fails the total count.
+	failRate    float64
+	consecFails int
+	fails       int
+	// quarantined marks the device benched; probeAt is the virtual time of
+	// its next probe, probeWait the probe interval, and quarantines counts
+	// how many times it has been benched.
+	quarantined bool
+	probeAt     float64
+	probeWait   float64
+	quarantines int
 }
 
 // Scheduler dispatches sampled grid points across a device fleet with
@@ -185,6 +291,11 @@ type Scheduler struct {
 	mu        sync.Mutex
 	states    []devState
 	serialRng *rand.Rand
+	// meanBatch is an EWMA of non-tail batch durations across the whole
+	// fleet — the "typical batch" yardstick the risk-aware tail caps are
+	// expressed against.
+	meanBatch float64
+	meanSeen  bool
 }
 
 // New builds a scheduler over the given devices.
@@ -240,6 +351,18 @@ type DeviceState struct {
 	Ratio float64
 	// Batches and Jobs count successful dispatches so far.
 	Batches, Jobs int
+	// TailProb and TailMag are the learned tail EWMAs: the probability a
+	// batch blows past its expected latency and the observed/expected
+	// magnitude when it does (both 0 before any tail event).
+	TailProb, TailMag float64
+	// FailRate is the EWMA dispatch-failure rate; Fails the total count of
+	// failed dispatches.
+	FailRate float64
+	Fails    int
+	// Quarantined reports whether the device is currently benched;
+	// Quarantines counts how many times it has been benched.
+	Quarantined bool
+	Quarantines int
 }
 
 // States returns the per-device learned state.
@@ -250,25 +373,64 @@ func (s *Scheduler) States() []DeviceState {
 	for d := range s.devices {
 		st := &s.states[d]
 		out[d] = DeviceState{
-			Name:      s.devices[d].Name,
-			BatchSize: st.batch,
-			Ratio:     st.ratio(),
-			Batches:   st.batches,
-			Jobs:      st.jobs,
+			Name:        s.devices[d].Name,
+			BatchSize:   st.batch,
+			Ratio:       st.ratio(),
+			Batches:     st.batches,
+			Jobs:        st.jobs,
+			TailProb:    st.tailProb,
+			TailMag:     st.tailMag,
+			FailRate:    st.failRate,
+			Fails:       st.fails,
+			Quarantined: st.quarantined,
+			Quarantines: st.quarantines,
 		}
 	}
 	return out
 }
 
+// tailDetectFactor is how far past its expected latency a batch must land
+// to count as a tail event for the risk estimators.
+const tailDetectFactor = 3
+
 // observe folds one completed batch's latency decomposition into the
-// device's EWMAs and recomputes its next batch size.
+// device's EWMAs and recomputes its next batch size. It is called for every
+// dispatch, failed ones included — failed batches still report their timing,
+// and the learner uses every observation.
 func (s *Scheduler) observe(st *devState, size int, queue, execT float64) {
 	if s.opt.FixedBatch > 0 {
 		return
 	}
 	perJob := execT / float64(size)
+	a := s.opt.Alpha
+	// Tail detection compares the observation against the pre-update
+	// expectation; magnitude is the overshoot ratio. The fleet-wide typical
+	// batch duration excludes tail events so the yardstick is not dragged
+	// by the excursions it is meant to bound.
 	if st.observed {
-		a := s.opt.Alpha
+		expected := st.queueEst + float64(size)*st.execEst
+		obs := queue + execT
+		if expected > 0 {
+			tail := obs > tailDetectFactor*expected
+			ind := 0.0
+			if tail {
+				ind = 1
+				st.tailCount++
+				mag := obs / expected
+				if !st.tailSeen {
+					st.tailMag, st.tailSeen = mag, true
+				} else {
+					st.tailMag = (1-a)*st.tailMag + a*mag
+				}
+			} else if s.meanSeen {
+				s.meanBatch = (1-a)*s.meanBatch + a*obs
+			} else {
+				s.meanBatch, s.meanSeen = obs, true
+			}
+			st.tailProb = (1-a)*st.tailProb + a*ind
+		}
+	}
+	if st.observed {
 		st.queueEst = (1-a)*st.queueEst + a*queue
 		st.execEst = (1-a)*st.execEst + a*perJob
 	} else {
@@ -304,29 +466,53 @@ func (st *devState) ratio() float64 {
 
 // group is one planned batch: the qpu-level record plus the grid indices it
 // carries, the values once evaluated, and a snapshot of the learned batch
-// sizes at its completion.
+// sizes and quarantine state at its completion.
 type group struct {
 	qpu.BatchGroup
 	indices []int
 	values  []float64
 	sizes   []int
+	quar    []bool
+}
+
+// planOutcome is everything the virtual-time scheduling pass produces.
+type planOutcome struct {
+	groups   []group
+	serial   float64
+	makespan float64
+	retries  int
+	events   []QuarantineEvent
 }
 
 // plan runs the virtual-time scheduling simulation: cache probe, adaptive
-// list scheduling with failure rescheduling, and the single-device serial
-// baseline. It holds the scheduler lock (the RNG streams and learned sizes
-// are shared across runs) and performs no circuit evaluation.
-func (s *Scheduler) plan(g *landscape.Grid, indices []int, cache *exec.Cache) (groups []group, serial, makespan float64, retries int, err error) {
+// list scheduling with failure rescheduling (risk-aware retry/backoff and
+// quarantine when Options.RiskAware), and the single-device serial baseline.
+// It holds the scheduler lock (the RNG streams and learned sizes are shared
+// across runs) and performs no circuit evaluation.
+func (s *Scheduler) plan(g *landscape.Grid, indices []int, cache *exec.Cache) (*planOutcome, error) {
 	if len(indices) == 0 {
-		return nil, 0, 0, 0, errors.New("fleet: no jobs")
+		return nil, errors.New("fleet: no jobs")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	out := &planOutcome{}
 
 	// Serial baseline: the shared one-device no-batching baseline
 	// qpu.RunBatched also reports, so Speedup stays comparable.
 	const maxAttempts = 8
-	serial = qpu.SerialBaseline(s.devices[0], s.serialRng, len(indices))
+	// The consecutive-failure budget for one batch scales with fleet size
+	// (each failure already moves the work to a different device), and the
+	// risk-aware policy gets extra room: its backoff and probe waits mean
+	// attempts are spread over time and eventual success is the expected
+	// outcome, not a lucky draw.
+	budget := maxAttempts
+	if n := len(s.devices); n > 1 {
+		budget *= n
+	}
+	if s.opt.RiskAware {
+		budget *= 4
+	}
+	out.serial = qpu.SerialBaseline(s.devices[0], s.serialRng, len(indices))
 
 	// Cache probe: points an earlier run already measured are served at
 	// virtual time zero, before any device pays queue latency. Lookup
@@ -345,17 +531,22 @@ func (s *Scheduler) plan(g *landscape.Grid, indices []int, cache *exec.Cache) (g
 			}
 		}
 		if len(hitIdx) > 0 {
-			groups = append(groups, group{
+			out.groups = append(out.groups, group{
 				BatchGroup: qpu.BatchGroup{Device: -1, Size: len(hitIdx)},
 				indices:    hitIdx,
 				values:     hitVals,
 				sizes:      s.sizesLocked(),
+				quar:       s.quarLocked(),
 			})
 		}
 		pending = misses
 	}
 
 	free := make([]float64, len(s.devices))
+	// failStreak counts consecutive failed dispatches across the whole plan
+	// (risk-aware runs re-queue failed remnants rather than re-dispatching
+	// them as a unit, so the give-up budget must span batches).
+	failStreak := 0
 	for head := 0; head < len(pending); {
 		remaining := len(pending) - head
 		dev := s.pickLocked(free, 0, -1, remaining, 0)
@@ -365,10 +556,13 @@ func (s *Scheduler) plan(g *landscape.Grid, indices []int, cache *exec.Cache) (g
 
 		avail := 0.0
 		exclude := -1
+		onDev := 0
+		backoff := s.opt.RetryBackoff
 		for attempt := 0; ; attempt++ {
-			if attempt > 0 {
+			if attempt > 0 && (!s.opt.RiskAware || onDev == 0) {
 				// The failed batch keeps its size; re-pick by expected
-				// completion for exactly k jobs.
+				// completion for exactly k jobs. (Risk-aware in-place
+				// retries skip the re-pick and stay on the device.)
 				dev = s.pickLocked(free, avail, exclude, remaining, k)
 			}
 			st := &s.states[dev]
@@ -376,42 +570,103 @@ func (s *Scheduler) plan(g *landscape.Grid, indices []int, cache *exec.Cache) (g
 			if avail > start {
 				start = avail
 			}
-			queue, execT := s.devices[dev].Latency.SampleBatchParts(st.rng, k)
+			if s.opt.RiskAware && st.quarantined && st.probeAt > start {
+				// A benched device only sees work again at its probe time.
+				start = st.probeAt
+			}
+			cond := s.devices[dev].ConditionAt(start)
+			queue, execT := cond.Latency.SampleBatchParts(st.rng, k)
 			done := start + queue + execT
 			free[dev] = done
-			// Failed batches still report their timing; the learner
-			// uses every observation.
 			s.observe(st, k, queue, execT)
-			if s.devices[dev].FailureProb > 0 && st.rng.Float64() < s.devices[dev].FailureProb {
-				if attempt+1 >= maxAttempts {
-					return nil, 0, 0, 0, fmt.Errorf("fleet: batch of %d jobs failed %d times in a row", k, maxAttempts)
+			failed := cond.Down || (cond.FailureProb > 0 && st.rng.Float64() < cond.FailureProb)
+			a := s.opt.Alpha
+			if failed {
+				st.failRate = (1-a)*st.failRate + a
+				st.fails++
+				st.consecFails++
+				failStreak++
+				if !s.opt.RiskAware {
+					if attempt+1 >= budget {
+						return nil, fmt.Errorf("fleet: batch of %d jobs failed %d times in a row", k, budget)
+					}
+					out.retries++
+					exclude = dev
+					avail = done
+					continue
 				}
-				retries++
-				exclude = dev
-				avail = done
-				continue
+				if failStreak >= budget {
+					return nil, fmt.Errorf("fleet: batch of %d jobs failed %d times in a row", k, budget)
+				}
+				out.retries++
+				if st.quarantined {
+					// A failed probe schedules the next one a fixed backoff
+					// out. Probes are cheap — one MinBatch dispatch on the
+					// benched device's own timeline — while every extra
+					// second of bench time on a device that has recovered
+					// costs real throughput, so the interval does not
+					// escalate.
+					st.probeAt = done + st.probeWait
+				} else if st.consecFails >= s.opt.QuarantineAfter || st.failRate >= s.opt.QuarantineFailRate {
+					s.benchLocked(out, dev, done, "failures")
+				}
+				if !st.quarantined && onDev < s.opt.MaxRetries && st.consecFails <= 1 {
+					// Bounded in-place retry with exponential backoff — but
+					// only against a device whose last outcome before this
+					// batch was a success. A consecutive-failure streak means
+					// the fault is persistent (a storm window, a dropout),
+					// and waiting out a backoff to retry the same device
+					// just pays a second failed dispatch.
+					onDev++
+					avail = done + backoff
+					backoff *= 2
+					continue
+				}
+				// Retries exhausted (or the device was just benched): the
+				// remnant returns to the pending queue and re-batches at
+				// whatever size its next device has learned — a failed
+				// mega-batch from a fast device must not land on a slower
+				// one (or on a benched one as an oversized "probe") as a
+				// single unit.
+				head -= k
+				break
+			}
+			failStreak = 0
+			st.failRate = (1 - a) * st.failRate
+			st.consecFails = 0
+			if s.opt.RiskAware && st.quarantined {
+				// A successful probe re-admits the device.
+				st.quarantined = false
+				st.probeWait = 0
+				out.events = append(out.events, QuarantineEvent{
+					Device: dev, Name: s.devices[dev].Name, Time: done, Reason: "probe-succeeded",
+				})
+			} else if s.opt.RiskAware && s.opt.QuarantineTailRate > 0 &&
+				st.tailSeen && st.tailProb >= s.opt.QuarantineTailRate {
+				s.benchLocked(out, dev, done, "tail-rate")
 			}
 			st.batches++
 			st.jobs += k
-			groups = append(groups, group{
+			out.groups = append(out.groups, group{
 				BatchGroup: qpu.BatchGroup{
 					Device: dev, Size: k, Queue: queue, Exec: execT,
 					Start: start, Done: done,
 				},
 				indices: batch,
 				sizes:   s.sizesLocked(),
+				quar:    s.quarLocked(),
 			})
 			break
 		}
 	}
 
-	sort.SliceStable(groups, func(i, j int) bool { return groups[i].Done < groups[j].Done })
-	for _, g := range groups {
-		if g.Done > makespan {
-			makespan = g.Done
+	sort.SliceStable(out.groups, func(i, j int) bool { return out.groups[i].Done < out.groups[j].Done })
+	for _, g := range out.groups {
+		if g.Done > out.makespan {
+			out.makespan = g.Done
 		}
 	}
-	return groups, serial, makespan, retries, nil
+	return out, nil
 }
 
 // sizesLocked snapshots the current per-device batch sizes.
@@ -431,8 +686,21 @@ func (s *Scheduler) sizesLocked() []int {
 // straggler (or a huge final batch into a tail-latency hostage) without
 // starving the fastest device of its amortization.
 func (s *Scheduler) batchFor(d, remaining int) int {
+	if s.opt.RiskAware && s.states[d].quarantined {
+		// A benched device is only probed with a single small batch.
+		k := s.opt.MinBatch
+		if k > remaining {
+			k = remaining
+		}
+		return k
+	}
 	k := s.states[d].batch
 	if s.opt.FixedBatch == 0 {
+		if s.opt.RiskAware {
+			if cap := s.riskCapLocked(d); k > cap {
+				k = cap
+			}
+		}
 		if share := int(math.Ceil(s.shareLocked(d) * float64(remaining))); k > share {
 			k = share
 		}
@@ -509,12 +777,23 @@ func (s *Scheduler) pickLocked(free []float64, avail float64, exclude, remaining
 		if avail > est {
 			est = avail
 		}
+		if s.opt.RiskAware && st.quarantined && st.probeAt > est {
+			// A benched device becomes available again at its probe time;
+			// it competes for dispatch from there, so probes happen as a
+			// natural consequence of the fleet catching up to probeAt.
+			est = st.probeAt
+		}
 		if st.observed {
 			k := fixedK
 			if k <= 0 {
 				k = s.batchFor(d, remaining)
 			}
 			est += st.queueEst + float64(k)*st.execEst
+			if s.opt.RiskAware && st.tailSignificant() {
+				// Expected tail exposure penalizes tail-heavy devices so
+				// work drifts toward calmer ones before a tail strikes.
+				est += st.tailProb * (st.tailMag - 1) * (st.queueEst + float64(k)*st.execEst)
+			}
 		}
 		if est < best {
 			dev, best = d, est

@@ -50,6 +50,12 @@ type StreamResult struct {
 	// BatchSizes are the per-device learned batch sizes at the end of the
 	// run.
 	BatchSizes []int
+	// Quarantines lists the run's quarantine transitions in time order
+	// (risk-aware runs; empty otherwise).
+	Quarantines []QuarantineEvent
+	// DeviceStates is the per-device learned state at the end of the run,
+	// including tail estimates and quarantine counters.
+	DeviceStates []DeviceState
 }
 
 // Run executes the cost evaluations for the given flat grid indices across
@@ -59,14 +65,14 @@ func (s *Scheduler) Run(ctx context.Context, g *landscape.Grid, indices []int) (
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	groups, serial, makespan, retries, err := s.plan(g, indices, s.opt.Cache)
+	plan, err := s.plan(g, indices, s.opt.Cache)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.evaluate(ctx, g, groups, s.opt.Cache, nil); err != nil {
+	if err := s.evaluate(ctx, g, plan.groups, s.opt.Cache, nil); err != nil {
 		return nil, err
 	}
-	return s.report(groups, serial, makespan, retries), nil
+	return s.report(plan.groups, plan.serial, plan.makespan, plan.retries), nil
 }
 
 // ReconstructStream runs the full streaming pipeline: draw the OSCAR
@@ -91,10 +97,11 @@ func (s *Scheduler) ReconstructStream(ctx context.Context, g *landscape.Grid, op
 	if err != nil {
 		return nil, err
 	}
-	groups, serial, makespan, retries, err := s.plan(g, indices, cache)
+	plan, err := s.plan(g, indices, cache)
 	if err != nil {
 		return nil, err
 	}
+	groups, makespan := plan.groups, plan.makespan
 
 	// Eager cut at a batch boundary: keep whole groups in completion
 	// order until KeepFraction of the samples are covered.
@@ -130,7 +137,7 @@ func (s *Scheduler) ReconstructStream(ctx context.Context, g *landscape.Grid, op
 		return nil, fmt.Errorf("fleet: eager cut at keep fraction %g dropped every batch", s.opt.KeepFraction)
 	}
 
-	res := &StreamResult{Timeout: timeout, Saved: saved}
+	res := &StreamResult{Timeout: timeout, Saved: saved, Quarantines: plan.events}
 	var lastResidual float64
 	solves := 0
 	fed := 0
@@ -143,7 +150,9 @@ func (s *Scheduler) ReconstructStream(ctx context.Context, g *landscape.Grid, op
 			SamplesDone: fed, SamplesTotal: total,
 			VirtualTime: gr.Done,
 			Solves:      solves, Residual: lastResidual,
-			BatchSizes: gr.sizes,
+			BatchSizes:  gr.sizes,
+			Quarantined: gr.quar,
+			Retries:     plan.retries, QuarantineEvents: len(plan.events),
 		})
 	}
 
@@ -193,10 +202,11 @@ func (s *Scheduler) ReconstructStream(ctx context.Context, g *landscape.Grid, op
 	if len(groups) > 0 {
 		progress(&groups[len(groups)-1])
 	}
-	res.Report = s.report(groups, serial, makespan, retries)
+	res.Report = s.report(groups, plan.serial, makespan, plan.retries)
 	res.Landscape = recon
 	res.Stats = stats
 	res.BatchSizes = s.sizesSnapshot()
+	res.DeviceStates = s.States()
 	return res, nil
 }
 

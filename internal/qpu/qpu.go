@@ -77,6 +77,11 @@ func (m LatencyModel) SampleBatchParts(rng *rand.Rand, jobs int) (queue, exec fl
 
 // Validate checks the model parameters.
 func (m LatencyModel) Validate() error {
+	for _, v := range []float64{m.QueueMedian, m.Sigma, m.Exec, m.TailProb, m.TailFactor} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("qpu: non-finite latency parameters %+v", m)
+		}
+	}
 	if m.QueueMedian < 0 || m.Exec < 0 || m.Sigma < 0 {
 		return fmt.Errorf("qpu: negative latency parameters %+v", m)
 	}
@@ -99,6 +104,11 @@ type Device struct {
 	// latency, then are rescheduled on the earliest-free *other* device
 	// (or retried here if the fleet has a single device).
 	FailureProb float64
+	// Scenario, when set, perturbs the device's latency, failure
+	// probability, and availability as a function of virtual time —
+	// deterministic fault injection. Dispatch samples through the
+	// scenario-adjusted condition at the submission time.
+	Scenario Scenario
 }
 
 // Result is one completed job.
@@ -157,16 +167,30 @@ func (r *RunReport) Speedup() float64 {
 	return r.SerialTime / r.Makespan
 }
 
-// maxAttempts caps how often one job or batch may fail in a row before the
-// run is abandoned.
+// maxAttempts caps how often one job or batch may fail in a row on a single
+// device before the run is abandoned.
 const maxAttempts = 8
+
+// attemptCap is the consecutive-failure budget for one job or batch: with a
+// single device maxAttempts, with more the budget scales with fleet size —
+// each failure already moves the work to a different device, so the run
+// should only be abandoned once every device has had its share of chances,
+// not after eight unlucky draws while healthy devices remain.
+func attemptCap(devices int) int {
+	if devices <= 1 {
+		return maxAttempts
+	}
+	return maxAttempts * devices
+}
 
 // SerialBaseline draws the virtual time a single device needs to run jobs
 // submitted individually, back to back, with failed submissions retried (and
 // paid for) on that same device. It is the shared one-device no-batching
 // baseline both Executor.RunBatched and the fleet scheduler report as
 // SerialTime, so their Speedup figures stay comparable; it advances rng by
-// the same draw sequence wherever it is used.
+// the same draw sequence wherever it is used. The baseline is scenario-blind:
+// it measures the undisturbed reference device, so speedup figures stay
+// comparable across injected scenarios.
 func SerialBaseline(d Device, rng *rand.Rand, jobs int) float64 {
 	var serial float64
 	for i := 0; i < jobs; i++ {
@@ -243,6 +267,7 @@ func (e *Executor) Run(g *landscape.Grid, indices []int) (*RunReport, error) {
 	var serial float64
 
 	retries := 0
+	budget := attemptCap(len(e.devices))
 	for _, idx := range indices {
 		var (
 			done    float64
@@ -261,14 +286,15 @@ func (e *Executor) Run(g *landscape.Grid, indices []int) (*RunReport, error) {
 					dev = d
 				}
 			}
-			lat := e.devices[dev].Latency.Sample(rng)
+			cond := e.devices[dev].ConditionAt(free[dev])
+			lat := cond.Latency.Sample(rng)
 			// The serial baseline runs the same jobs (same latency
 			// draws, same failures) back to back on a single device.
 			serial += lat
 			free[dev] += lat
-			if e.devices[dev].FailureProb > 0 && rng.Float64() < e.devices[dev].FailureProb {
-				if attempt+1 >= maxAttempts {
-					return nil, fmt.Errorf("qpu: job %d failed %d times in a row", idx, maxAttempts)
+			if cond.Down || (cond.FailureProb > 0 && rng.Float64() < cond.FailureProb) {
+				if attempt+1 >= budget {
+					return nil, fmt.Errorf("qpu: job %d failed %d times in a row", idx, budget)
 				}
 				retries++
 				exclude = dev
@@ -333,6 +359,7 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 	batches := make([]BatchGroup, 0, (len(indices)+batchSize-1)/batchSize)
 	var serial float64
 	retries := 0
+	budget := attemptCap(len(e.devices))
 
 	evals := make([]exec.BatchEvaluator, len(e.devices))
 	for d := range e.devices {
@@ -366,11 +393,12 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 				}
 			}
 			start := free[dev]
-			queue, execT := e.devices[dev].Latency.SampleBatchParts(rng, len(batch))
+			cond := e.devices[dev].ConditionAt(start)
+			queue, execT := cond.Latency.SampleBatchParts(rng, len(batch))
 			free[dev] += queue + execT
-			if e.devices[dev].FailureProb > 0 && rng.Float64() < e.devices[dev].FailureProb {
-				if attempt+1 >= maxAttempts {
-					return nil, fmt.Errorf("qpu: batch [%d,%d) failed %d times in a row", lo, hi, maxAttempts)
+			if cond.Down || (cond.FailureProb > 0 && rng.Float64() < cond.FailureProb) {
+				if attempt+1 >= budget {
+					return nil, fmt.Errorf("qpu: batch [%d,%d) failed %d times in a row", lo, hi, budget)
 				}
 				retries++
 				exclude = dev

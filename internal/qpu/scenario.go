@@ -1,0 +1,228 @@
+package qpu
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Condition is a device's effective behavior at one instant of virtual time:
+// the latency model jobs sample from, the probability a submission fails, and
+// whether the device is accepting work at all.
+type Condition struct {
+	// Latency is the effective latency model at this instant.
+	Latency LatencyModel
+	// FailureProb is the effective per-submission failure probability.
+	FailureProb float64
+	// Down marks the device dark: a submission made at this time pays its
+	// sampled latency (the job sits in the queue until evicted) and then
+	// fails deterministically. Schedulers learn about dropouts only through
+	// these observed failures — they get no side channel.
+	Down bool
+}
+
+// Scenario perturbs a device's condition as a function of virtual time —
+// deterministic fault injection for validating schedulers against adversarial
+// device behavior rather than benign averages. Implementations must be
+// reproducible: the same construction parameters yield the same condition at
+// every queried time, regardless of query order. Scenarios may be shared
+// across devices (that is how correlated disturbances are modeled) and must
+// be safe for concurrent use.
+type Scenario interface {
+	// Kind names the scenario class ("drift", "dropout", ...).
+	Kind() string
+	// At returns the effective condition at virtual time t, derived from
+	// the device's configured base condition.
+	At(t float64, base Condition) Condition
+}
+
+// Drift models calibration drift: execution time ramps up linearly once the
+// drift starts, as a device's error rates (and hence shot counts or re-runs)
+// grow between calibrations.
+type Drift struct {
+	// Start is the virtual time the drift begins.
+	Start float64
+	// Rate is the fractional execution-time growth per second of drift:
+	// at time t > Start the exec multiplier is 1 + Rate*(t-Start).
+	Rate float64
+	// Max caps the exec multiplier (0 means a default cap of 10x).
+	Max float64
+}
+
+// Kind implements Scenario.
+func (d Drift) Kind() string { return "drift" }
+
+// At implements Scenario.
+func (d Drift) At(t float64, base Condition) Condition {
+	if t <= d.Start || d.Rate <= 0 {
+		return base
+	}
+	m := 1 + d.Rate*(t-d.Start)
+	max := d.Max
+	if max <= 0 {
+		max = 10
+	}
+	if m > max {
+		m = max
+	}
+	base.Latency.Exec *= m
+	return base
+}
+
+// Dropout takes the device dark for one window of virtual time — a mid-run
+// calibration outage. Submissions inside the window pay their latency and
+// fail; outside it the device behaves normally.
+type Dropout struct {
+	// Start is when the device goes dark.
+	Start float64
+	// Duration is how long it stays dark.
+	Duration float64
+}
+
+// Kind implements Scenario.
+func (d Dropout) Kind() string { return "dropout" }
+
+// At implements Scenario.
+func (d Dropout) At(t float64, base Condition) Condition {
+	if t >= d.Start && t < d.Start+d.Duration {
+		base.Down = true
+	}
+	return base
+}
+
+// windows is a reproducible stream of disturbance windows: inter-window gaps
+// are exponentially distributed with mean Spacing, each window lasts
+// Duration. Windows are materialized lazily from the seeded stream in window
+// order, so membership of any time t is a pure function of the seed and
+// parameters — query order does not matter. Safe for concurrent use.
+type windows struct {
+	spacing  float64
+	duration float64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	starts []float64
+}
+
+func newWindows(seed int64, spacing, duration float64) *windows {
+	return &windows{
+		spacing:  spacing,
+		duration: duration,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// in reports whether t falls inside a disturbance window.
+func (w *windows) in(t float64) bool {
+	if w.spacing <= 0 || w.duration <= 0 || t < 0 {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Extend the materialized window list until it covers t. Each new
+	// window starts an Exp(spacing) gap after the previous one ends, so
+	// windows never overlap and the sequence only ever extends.
+	for len(w.starts) == 0 || w.starts[len(w.starts)-1] <= t {
+		prevEnd := 0.0
+		if n := len(w.starts); n > 0 {
+			prevEnd = w.starts[n-1] + w.duration
+		}
+		w.starts = append(w.starts, prevEnd+w.spacing*w.rng.ExpFloat64())
+	}
+	i := sort.SearchFloat64s(w.starts, t)
+	// starts[i-1] <= t < starts[i]; t is disturbed iff it falls within
+	// Duration of the window starting at starts[i-1].
+	return i > 0 && t < w.starts[i-1]+w.duration
+}
+
+// QueueSpikes models congestion bursts: during seeded windows the queue
+// delay is multiplied by Factor. Sharing one *QueueSpikes across several
+// devices makes them spike together — the correlated-disturbance case that
+// defeats purely per-device mitigation.
+type QueueSpikes struct {
+	// Factor multiplies the queue median inside a spike window.
+	Factor float64
+	w      *windows
+}
+
+// NewQueueSpikes builds a spike scenario: windows of the given duration
+// (seconds of virtual time) recur with exponentially distributed gaps of
+// mean spacing, multiplying queue delay by factor while active.
+func NewQueueSpikes(seed int64, spacing, duration, factor float64) *QueueSpikes {
+	return &QueueSpikes{Factor: factor, w: newWindows(seed, spacing, duration)}
+}
+
+// Kind implements Scenario.
+func (s *QueueSpikes) Kind() string { return "queue_spikes" }
+
+// At implements Scenario.
+func (s *QueueSpikes) At(t float64, base Condition) Condition {
+	if s.Factor > 1 && s.w != nil && s.w.in(t) {
+		base.Latency.QueueMedian *= s.Factor
+	}
+	return base
+}
+
+// RetryStorm models transient failure bursts: during seeded windows the
+// failure probability is raised to Prob (when that exceeds the device's
+// base rate), as happens when a control-stack hiccup bounces a stretch of
+// submissions.
+type RetryStorm struct {
+	// Prob is the failure probability inside a storm window.
+	Prob float64
+	w    *windows
+}
+
+// NewRetryStorm builds a storm scenario: windows of the given duration recur
+// with exponentially distributed gaps of mean spacing, raising failure
+// probability to prob while active.
+func NewRetryStorm(seed int64, spacing, duration, prob float64) *RetryStorm {
+	return &RetryStorm{Prob: prob, w: newWindows(seed, spacing, duration)}
+}
+
+// Kind implements Scenario.
+func (s *RetryStorm) Kind() string { return "retry_storm" }
+
+// At implements Scenario.
+func (s *RetryStorm) At(t float64, base Condition) Condition {
+	if s.w != nil && s.w.in(t) && s.Prob > base.FailureProb {
+		base.FailureProb = s.Prob
+	}
+	return base
+}
+
+// Compose chains scenarios: each one's perturbation feeds the next. Kind
+// reports the first scenario's kind joined with "+" for the rest.
+func Compose(scenarios ...Scenario) Scenario { return composite(scenarios) }
+
+type composite []Scenario
+
+// Kind implements Scenario.
+func (c composite) Kind() string {
+	kind := ""
+	for i, s := range c {
+		if i > 0 {
+			kind += "+"
+		}
+		kind += s.Kind()
+	}
+	return kind
+}
+
+// At implements Scenario.
+func (c composite) At(t float64, base Condition) Condition {
+	for _, s := range c {
+		base = s.At(t, base)
+	}
+	return base
+}
+
+// ConditionAt resolves the device's effective condition at virtual time t,
+// applying its Scenario (when set) to the configured base model.
+func (d Device) ConditionAt(t float64) Condition {
+	base := Condition{Latency: d.Latency, FailureProb: d.FailureProb}
+	if d.Scenario == nil {
+		return base
+	}
+	return d.Scenario.At(t, base)
+}

@@ -134,18 +134,26 @@ func TestFleetJobValidation(t *testing.T) {
 		`{"problem": {"kind": "maxcut3", "n": 8, "seed": 7}, "backend": {"kind": "analytic"},
 		  "grid": {"beta_n": 12, "gamma_n": 14}, "options": {"sampling_fraction": 0.5},
 		  "fleet": {"devices": [{"queue_median": -5}]}}`,
+		// Missing exec time.
+		`{"problem": {"kind": "maxcut3", "n": 8, "seed": 7}, "backend": {"kind": "analytic"},
+		  "grid": {"beta_n": 12, "gamma_n": 14}, "options": {"sampling_fraction": 0.5},
+		  "fleet": {"devices": [{"queue_median": 10}]}}`,
 		// Failure probability 1.
 		`{"problem": {"kind": "maxcut3", "n": 8, "seed": 7}, "backend": {"kind": "analytic"},
 		  "grid": {"beta_n": 12, "gamma_n": 14}, "options": {"sampling_fraction": 0.5},
-		  "fleet": {"devices": [{"queue_median": 10, "failure_prob": 1.0}]}}`,
+		  "fleet": {"devices": [{"queue_median": 10, "exec": 1, "failure_prob": 1.0}]}}`,
 		// Threshold at 1.
 		`{"problem": {"kind": "maxcut3", "n": 8, "seed": 7}, "backend": {"kind": "analytic"},
 		  "grid": {"beta_n": 12, "gamma_n": 14}, "options": {"sampling_fraction": 0.5},
-		  "fleet": {"devices": [{"queue_median": 10}], "thresholds": [1.0]}}`,
+		  "fleet": {"devices": [{"queue_median": 10, "exec": 1}], "thresholds": [1.0]}}`,
 		// Keep fraction out of range.
 		`{"problem": {"kind": "maxcut3", "n": 8, "seed": 7}, "backend": {"kind": "analytic"},
 		  "grid": {"beta_n": 12, "gamma_n": 14}, "options": {"sampling_fraction": 0.5},
-		  "fleet": {"devices": [{"queue_median": 10}], "keep_fraction": 2}}`,
+		  "fleet": {"devices": [{"queue_median": 10, "exec": 1}], "keep_fraction": 2}}`,
+		// Negative risk option.
+		`{"problem": {"kind": "maxcut3", "n": 8, "seed": 7}, "backend": {"kind": "analytic"},
+		  "grid": {"beta_n": 12, "gamma_n": 14}, "options": {"sampling_fraction": 0.5},
+		  "fleet": {"devices": [{"queue_median": 10, "exec": 1}], "risk_aware": true, "tail_budget": -1}}`,
 	}
 	for i, body := range bad {
 		rec, _ := do(t, s, "POST", "/jobs", body)
@@ -157,8 +165,8 @@ func TestFleetJobValidation(t *testing.T) {
 	// an unnamed device's default) would collapse the name-keyed result
 	// maps and metrics gauges.
 	for _, devs := range []string{
-		`[{"name": "a", "queue_median": 10}, {"name": "a", "queue_median": 20}]`,
-		`[{"queue_median": 10}, {"name": "qpu-0", "queue_median": 20}]`,
+		`[{"name": "a", "queue_median": 10, "exec": 1}, {"name": "a", "queue_median": 20, "exec": 1}]`,
+		`[{"queue_median": 10, "exec": 1}, {"name": "qpu-0", "queue_median": 20, "exec": 1}]`,
 	} {
 		body := `{"problem": {"kind": "maxcut3", "n": 8, "seed": 7}, "backend": {"kind": "analytic"},
 		  "grid": {"beta_n": 12, "gamma_n": 14}, "options": {"sampling_fraction": 0.5},
@@ -167,6 +175,159 @@ func TestFleetJobValidation(t *testing.T) {
 		if rec.Code != http.StatusBadRequest || !strings.Contains(out["error"].(string), "duplicate device name") {
 			t.Errorf("duplicate device names answered %d %v, want 400", rec.Code, out["error"])
 		}
+	}
+}
+
+// TestFleetScenarioValidation pins 400s for malformed scenario specs, both
+// per-device and fleet-level.
+func TestFleetScenarioValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	mk := func(fleetExtra, devExtra string) string {
+		return `{"problem": {"kind": "maxcut3", "n": 8, "seed": 7}, "backend": {"kind": "analytic"},
+		  "grid": {"beta_n": 12, "gamma_n": 14}, "options": {"sampling_fraction": 0.5},
+		  "fleet": {"devices": [{"queue_median": 10, "exec": 1` + devExtra + `}]` + fleetExtra + `}}`
+	}
+	bad := []string{
+		// Unknown kind.
+		mk("", `, "scenario": {"kind": "meteor"}`),
+		// Missing kind.
+		mk("", `, "scenario": {"duration": 10}`),
+		// Drift without a rate.
+		mk("", `, "scenario": {"kind": "drift"}`),
+		// Dropout without a duration.
+		mk("", `, "scenario": {"kind": "dropout", "start": 5}`),
+		// Queue spikes with a non-amplifying factor.
+		mk("", `, "scenario": {"kind": "queue_spikes", "spacing": 100, "duration": 50, "factor": 1}`),
+		// Retry storm with zero probability.
+		mk("", `, "scenario": {"kind": "retry_storm", "spacing": 100, "duration": 50, "prob": 0}`),
+		// Negative parameter.
+		mk("", `, "scenario": {"kind": "dropout", "start": -1, "duration": 10}`),
+		// Fleet-level scenario is validated too.
+		mk(`, "scenario": {"kind": "queue_spikes", "spacing": 0, "duration": 50, "factor": 4}`, ""),
+	}
+	for i, body := range bad {
+		rec, out := do(t, s, "POST", "/jobs", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("bad scenario %d answered %d: %v", i, rec.Code, out["error"])
+		}
+	}
+	// A well-formed scenario on a well-formed device is accepted and runs.
+	good := mk("", `, "scenario": {"kind": "drift", "start": 0, "rate": 0.001, "max": 4}`)
+	good = strings.Replace(good, `"fleet":`, `"wait": true, "fleet":`, 1)
+	rec, out := do(t, s, "POST", "/jobs", good)
+	if rec.Code != http.StatusOK || out["state"] != string(StateDone) {
+		t.Fatalf("drift job answered %d: %v", rec.Code, out)
+	}
+}
+
+// TestFleetChaosJob runs a risk-aware fleet job with a mid-run-forever
+// dropout injected on one device and checks the robustness surface
+// end-to-end: the job completes, the result reports retries, quarantine
+// events, and per-device tail estimates, and /metrics and /stats expose the
+// retry/quarantine counters.
+func TestFleetChaosJob(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{
+		"problem": {"kind": "maxcut3", "n": 8, "seed": 7},
+		"backend": {"kind": "analytic"},
+		"grid": {"beta_n": 12, "gamma_n": 14},
+		"options": {"sampling_fraction": 0.5, "seed": 3},
+		"fleet": {
+			"seed": 7,
+			"risk_aware": true,
+			"devices": [
+				{"name": "good", "queue_median": 30, "sigma": 0.5, "exec": 1},
+				{"name": "dark", "queue_median": 10, "sigma": 0.5, "exec": 1,
+				 "scenario": {"kind": "dropout", "start": 0, "duration": 1000000000}}
+			]
+		},
+		"wait": true
+	}`
+	rec, out := do(t, s, "POST", "/jobs", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, out)
+	}
+	if out["state"] != string(StateDone) {
+		t.Fatalf("state %v error %v — a dropout must not fail the job", out["state"], out["error"])
+	}
+	res := out["result"].(map[string]any)
+	fl, _ := res["fleet"].(map[string]any)
+	if fl == nil {
+		t.Fatalf("no fleet summary: %v", res)
+	}
+	if fl["retries"].(float64) == 0 {
+		t.Error("no retries recorded under a dark device")
+	}
+	events, _ := fl["quarantine_events"].([]any)
+	if len(events) == 0 {
+		t.Fatal("no quarantine events recorded")
+	}
+	first := events[0].(map[string]any)
+	if first["device"] != "dark" || first["reason"] == "" {
+		t.Errorf("first quarantine event %v, want the dark device benched", first)
+	}
+	devs, _ := fl["devices"].([]any)
+	if len(devs) != 2 {
+		t.Fatalf("devices %v, want per-device state for both", fl["devices"])
+	}
+	for _, d := range devs {
+		ds := d.(map[string]any)
+		if ds["name"] == "dark" {
+			if ds["quarantined"] != true || ds["fails"].(float64) == 0 {
+				t.Errorf("dark device state %v, want quarantined with fails", ds)
+			}
+		}
+		if _, ok := ds["tail_prob"]; !ok {
+			t.Errorf("device state %v missing tail estimates", ds)
+		}
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, req)
+	mbody := mrec.Body.String()
+	if metricValue(t, mbody, "oscard_fleet_retries_total") == 0 {
+		t.Error("oscard_fleet_retries_total still zero after chaos job")
+	}
+	if metricValue(t, mbody, "oscard_fleet_quarantine_events_total") == 0 {
+		t.Error("oscard_fleet_quarantine_events_total still zero after chaos job")
+	}
+
+	_, stats := do(t, s, "GET", "/stats", "")
+	fs, _ := stats["fleet"].(map[string]any)
+	if fs == nil || fs["retries_total"].(float64) == 0 || fs["quarantine_events_total"].(float64) == 0 {
+		t.Errorf("/stats fleet block %v, want nonzero retry and quarantine totals", stats["fleet"])
+	}
+}
+
+// TestFleetSharedScenarioJob pins the correlated-injection path: one
+// fleet-level retry-storm instance shared by every device still yields a
+// completed job under risk-aware scheduling.
+func TestFleetSharedScenarioJob(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{
+		"problem": {"kind": "maxcut3", "n": 8, "seed": 7},
+		"backend": {"kind": "analytic"},
+		"grid": {"beta_n": 12, "gamma_n": 14},
+		"options": {"sampling_fraction": 0.5, "seed": 3},
+		"fleet": {
+			"seed": 21,
+			"risk_aware": true,
+			"scenario": {"kind": "retry_storm", "spacing": 300, "duration": 400, "prob": 0.9},
+			"devices": [
+				{"name": "a", "queue_median": 30, "sigma": 0.5, "exec": 1},
+				{"name": "b", "queue_median": 10, "sigma": 0.5, "exec": 5}
+			]
+		},
+		"wait": true
+	}`
+	rec, out := do(t, s, "POST", "/jobs", body)
+	if rec.Code != http.StatusOK || out["state"] != string(StateDone) {
+		t.Fatalf("storm job answered %d: %v", rec.Code, out)
+	}
+	res := out["result"].(map[string]any)
+	if res["samples"].(float64) != 84 {
+		t.Fatalf("samples %v, want the full 84 despite the storm", res["samples"])
 	}
 }
 

@@ -49,6 +49,10 @@ type Job struct {
 	// (nil for non-fleet jobs); GET /jobs/{id} reports it, so clients see
 	// partial results before completion.
 	progress *FleetProgress
+	// fleet is the live scheduler of a running fleet job; /metrics reads
+	// its per-device learned state (tail estimates, quarantine flags)
+	// mid-run. Cleared when the job finishes.
+	fleet *fleet.Scheduler
 }
 
 // FleetProgress is the progressive partial-result view of a running fleet
@@ -67,6 +71,35 @@ type FleetProgress struct {
 	Residual jsonFloat `json:"residual"`
 	// Devices maps device names to their learned batch sizes.
 	Devices map[string]int `json:"batch_sizes"`
+	// Retries counts failed dispatches that were retried or re-dispatched;
+	// QuarantineEvents counts quarantine transitions (bench + re-admit).
+	Retries          int `json:"retries"`
+	QuarantineEvents int `json:"quarantine_events"`
+	// Quarantined lists the devices benched as of the latest merged batch.
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+// FleetQuarantineEvent is one quarantine transition of a fleet run: a device
+// benched after crossing a failure threshold, or re-admitted after a probe.
+type FleetQuarantineEvent struct {
+	Device string    `json:"device"`
+	Time   jsonFloat `json:"time_s"`
+	Reason string    `json:"reason"`
+}
+
+// FleetDeviceState is one device's learned scheduling state at the end of a
+// fleet run: batch size, tail estimates, and failure/quarantine counters.
+type FleetDeviceState struct {
+	Name        string    `json:"name"`
+	BatchSize   int       `json:"batch_size"`
+	Jobs        int       `json:"jobs"`
+	Batches     int       `json:"batches"`
+	TailProb    jsonFloat `json:"tail_prob"`
+	TailMag     jsonFloat `json:"tail_mag"`
+	FailRate    jsonFloat `json:"fail_rate"`
+	Fails       int       `json:"fails"`
+	Quarantined bool      `json:"quarantined"`
+	Quarantines int       `json:"quarantines"`
 }
 
 // FleetResult summarizes fleet execution in a finished job's result.
@@ -82,6 +115,11 @@ type FleetResult struct {
 	Solves     int            `json:"solves"`
 	BatchSizes map[string]int `json:"batch_sizes"`
 	PerDevice  map[string]int `json:"jobs_per_device"`
+	// QuarantineEvents lists the run's quarantine transitions in time
+	// order; Devices the per-device learned state (tail estimates,
+	// failure counters). Both empty for non-risk-aware runs.
+	QuarantineEvents []FleetQuarantineEvent `json:"quarantine_events,omitempty"`
+	Devices          []FleetDeviceState     `json:"devices,omitempty"`
 }
 
 // JobResult is the outcome of a finished job.
@@ -193,14 +231,23 @@ func (s *Server) executeFleet(ctx context.Context, j *Job, opt core.Options, h0,
 				sizes[names[i]] = b
 			}
 		}
+		var quarantined []string
+		for i, q := range p.Quarantined {
+			if q && i < len(names) {
+				quarantined = append(quarantined, names[i])
+			}
+		}
 		s.mu.Lock()
 		j.progress = &FleetProgress{
-			SamplesDone:  p.SamplesDone,
-			SamplesTotal: p.SamplesTotal,
-			VirtualTime:  p.VirtualTime,
-			Solves:       p.Solves,
-			Residual:     jsonFloat(p.Residual),
-			Devices:      sizes,
+			SamplesDone:      p.SamplesDone,
+			SamplesTotal:     p.SamplesTotal,
+			VirtualTime:      p.VirtualTime,
+			Solves:           p.Solves,
+			Residual:         jsonFloat(p.Residual),
+			Devices:          sizes,
+			Retries:          p.Retries,
+			QuarantineEvents: p.QuarantineEvents,
+			Quarantined:      quarantined,
 		}
 		s.mu.Unlock()
 	}
@@ -208,10 +255,17 @@ func (s *Server) executeFleet(ctx context.Context, j *Job, opt core.Options, h0,
 	if err != nil {
 		return nil, err
 	}
+	// Publish the live scheduler so /metrics can export mid-run tail
+	// estimates and quarantine flags; finishJob withdraws it.
+	s.mu.Lock()
+	j.fleet = sch
+	s.mu.Unlock()
 	sres, err := sch.ReconstructStream(ctx, j.built.grid, opt)
 	if err != nil {
 		return nil, err
 	}
+	s.fleetRetries.Add(int64(sres.Report.Retries))
+	s.fleetQuarantines.Add(int64(len(sres.Quarantines)))
 	res := s.buildResult(j, sres.Landscape, sres.Stats, h0, m0)
 	sizes := make(map[string]int, len(names))
 	for i, b := range sres.BatchSizes {
@@ -228,18 +282,44 @@ func (s *Server) executeFleet(ctx context.Context, j *Job, opt core.Options, h0,
 			perDevice[names[r.Device]]++
 		}
 	}
+	events := make([]FleetQuarantineEvent, 0, len(sres.Quarantines))
+	for _, ev := range sres.Quarantines {
+		events = append(events, FleetQuarantineEvent{
+			Device: ev.Name, Time: jsonFloat(ev.Time), Reason: ev.Reason,
+		})
+	}
+	var states []FleetDeviceState
+	if j.built.fleetOpts.RiskAware {
+		states = make([]FleetDeviceState, 0, len(sres.DeviceStates))
+		for _, ds := range sres.DeviceStates {
+			states = append(states, FleetDeviceState{
+				Name:        ds.Name,
+				BatchSize:   ds.BatchSize,
+				Jobs:        ds.Jobs,
+				Batches:     ds.Batches,
+				TailProb:    jsonFloat(ds.TailProb),
+				TailMag:     jsonFloat(ds.TailMag),
+				FailRate:    jsonFloat(ds.FailRate),
+				Fails:       ds.Fails,
+				Quarantined: ds.Quarantined,
+				Quarantines: ds.Quarantines,
+			})
+		}
+	}
 	res.Fleet = &FleetResult{
-		Makespan:   jsonFloat(sres.Report.Makespan),
-		SerialTime: jsonFloat(sres.Report.SerialTime),
-		Speedup:    jsonFloat(sres.Report.Speedup()),
-		Retries:    sres.Report.Retries,
-		Batches:    len(sres.Report.Batches),
-		CacheHits:  cacheServed,
-		Timeout:    jsonFloat(sres.Timeout),
-		Saved:      jsonFloat(sres.Saved),
-		Solves:     len(sres.Partials) + 1,
-		BatchSizes: sizes,
-		PerDevice:  perDevice,
+		Makespan:         jsonFloat(sres.Report.Makespan),
+		SerialTime:       jsonFloat(sres.Report.SerialTime),
+		Speedup:          jsonFloat(sres.Report.Speedup()),
+		Retries:          sres.Report.Retries,
+		Batches:          len(sres.Report.Batches),
+		CacheHits:        cacheServed,
+		Timeout:          jsonFloat(sres.Timeout),
+		Saved:            jsonFloat(sres.Saved),
+		Solves:           len(sres.Partials) + 1,
+		BatchSizes:       sizes,
+		PerDevice:        perDevice,
+		QuarantineEvents: events,
+		Devices:          states,
 	}
 	return res, nil
 }
@@ -281,9 +361,11 @@ func (s *Server) finishJob(j *Job, res *JobResult, err error) {
 		return
 	}
 	j.finished = time.Now()
-	// Progress is a live-streaming view; a finished job (including failed
-	// or canceled fleet jobs) must stop reporting it on GET and /metrics.
+	// Progress and the live scheduler are streaming views; a finished job
+	// (including failed or canceled fleet jobs) must stop reporting them on
+	// GET and /metrics.
 	j.progress = nil
+	j.fleet = nil
 	switch {
 	case err == nil:
 		j.state = StateDone

@@ -6,17 +6,22 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 // handleMetrics exports server state in the Prometheus text exposition
 // format (version 0.0.4) — hand-rolled, no client library dependency. It
-// covers job states, the execution-cache counters, and per-device learned
-// batch-size gauges of running fleet jobs, so a scraper watches adaptation
-// happen.
+// covers job states, the execution-cache counters, server-wide fleet
+// retry/quarantine totals, and per-job gauges of running fleet jobs —
+// learned batch sizes, retry/quarantine progress, and per-device tail
+// estimates — so a scraper watches adaptation and risk policy happen.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	type fleetRow struct {
 		job      string
 		progress FleetProgress
+		sch      *fleet.Scheduler
+		states   []fleet.DeviceState
 	}
 	s.mu.Lock()
 	counts := map[JobState]int{}
@@ -25,7 +30,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		j := s.jobs[id]
 		counts[j.state]++
 		if j.progress != nil && j.state == StateRunning {
-			fleets = append(fleets, fleetRow{job: id, progress: *j.progress})
+			fleets = append(fleets, fleetRow{job: id, progress: *j.progress, sch: j.fleet})
 		}
 	}
 	var hits, misses int64
@@ -37,6 +42,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		entries += c.Len()
 	}
 	s.mu.Unlock()
+	// Snapshot device states outside the server lock: States takes the
+	// scheduler's own mutex, which is free while planning is done and
+	// streaming runs.
+	for i := range fleets {
+		if fleets[i].sch != nil {
+			fleets[i].states = fleets[i].sch.States()
+		}
+	}
 
 	var b strings.Builder
 	gauge := func(name, help string) {
@@ -66,10 +79,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("oscard_cache_configs", "Distinct device configurations holding a cache.")
 	fmt.Fprintf(&b, "oscard_cache_configs %d\n", configs)
 
+	counter("oscard_fleet_retries_total", "Failed fleet dispatches that were retried or re-dispatched, over finished jobs.")
+	fmt.Fprintf(&b, "oscard_fleet_retries_total %d\n", s.fleetRetries.Load())
+	counter("oscard_fleet_quarantine_events_total", "Fleet quarantine transitions (bench and re-admit), over finished jobs.")
+	fmt.Fprintf(&b, "oscard_fleet_quarantine_events_total %d\n", s.fleetQuarantines.Load())
+
 	gauge("oscard_fleet_batch_size", "Learned per-device batch size of running fleet jobs.")
 	gauge("oscard_fleet_samples_done", "Samples merged into the streaming reconstruction.")
 	gauge("oscard_fleet_samples_total", "Samples a running fleet job will merge in total.")
 	gauge("oscard_fleet_solves", "Interim reconstructions completed by a running fleet job.")
+	gauge("oscard_fleet_retries", "Retried or re-dispatched batches of a running fleet job.")
+	gauge("oscard_fleet_quarantine_events", "Quarantine transitions of a running fleet job.")
+	gauge("oscard_fleet_tail_prob", "Learned per-device tail-event probability of running fleet jobs.")
+	gauge("oscard_fleet_fail_rate", "Learned per-device dispatch-failure rate of running fleet jobs.")
+	gauge("oscard_fleet_quarantined", "Whether a device of a running fleet job is currently benched.")
 	for _, f := range fleets {
 		devices := make([]string, 0, len(f.progress.Devices))
 		for d := range f.progress.Devices {
@@ -84,6 +107,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "oscard_fleet_samples_done{job=\"%s\"} %d\n", job, f.progress.SamplesDone)
 		fmt.Fprintf(&b, "oscard_fleet_samples_total{job=\"%s\"} %d\n", job, f.progress.SamplesTotal)
 		fmt.Fprintf(&b, "oscard_fleet_solves{job=\"%s\"} %d\n", job, f.progress.Solves)
+		fmt.Fprintf(&b, "oscard_fleet_retries{job=\"%s\"} %d\n", job, f.progress.Retries)
+		fmt.Fprintf(&b, "oscard_fleet_quarantine_events{job=\"%s\"} %d\n", job, f.progress.QuarantineEvents)
+		for _, ds := range f.states {
+			dev := promLabel(ds.Name)
+			quarantined := 0
+			if ds.Quarantined {
+				quarantined = 1
+			}
+			fmt.Fprintf(&b, "oscard_fleet_tail_prob{job=\"%s\",device=\"%s\"} %g\n", job, dev, ds.TailProb)
+			fmt.Fprintf(&b, "oscard_fleet_fail_rate{job=\"%s\",device=\"%s\"} %g\n", job, dev, ds.FailRate)
+			fmt.Fprintf(&b, "oscard_fleet_quarantined{job=\"%s\",device=\"%s\"} %d\n", job, dev, quarantined)
+		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

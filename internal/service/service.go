@@ -14,15 +14,22 @@
 //	GET    /jobs/{id} poll one job (state, timings, result when done)
 //	DELETE /jobs/{id} cancel a queued or running job
 //	GET    /stats     cache hit/miss/size per device configuration,
-//	                  job counts, per-job timings, recovered panics
+//	                  job counts, per-job timings, recovered panics,
+//	                  fleet retry and quarantine totals
 //	GET    /metrics   Prometheus text-format export: job states, cache
-//	                  counters, learned fleet batch-size gauges
+//	                  counters, fleet retry/quarantine counters, learned
+//	                  batch-size and tail-estimate gauges
 //	GET    /healthz   liveness probe
 //
 // Jobs carrying a "fleet" block run in fleet mode: sampling is dispatched
 // across a list of virtual devices with adaptive batch sizing
 // (internal/fleet) and streamed into an incremental reconstruction; polling
-// such a job while it runs returns progressive partial results.
+// such a job while it runs returns progressive partial results. Fleet jobs
+// accept deterministic fault-injection scenarios (calibration drift,
+// dropouts, correlated queue spikes and retry storms) per device or shared
+// across the fleet, and a risk-aware scheduling mode that caps batch sizes
+// by learned tail exposure, retries failures with backoff, and quarantines
+// persistently failing devices.
 //
 // Every job runs under its own context.Context: client disconnects (for
 // wait-mode submissions), DELETE, and server shutdown all cancel the solve
@@ -116,6 +123,11 @@ type Server struct {
 	caches map[string]*exec.Cache
 
 	panics atomic.Int64
+	// fleetRetries and fleetQuarantines accumulate over finished fleet
+	// jobs: failed dispatches that were retried or re-dispatched, and
+	// quarantine transitions (bench + re-admit).
+	fleetRetries     atomic.Int64
+	fleetQuarantines atomic.Int64
 }
 
 // New builds a server.
@@ -372,6 +384,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"total_len":    totalLen,
 			"total_hits":   totalHits,
 			"total_misses": totalMisses,
+		},
+		"fleet": map[string]any{
+			"retries_total":           s.fleetRetries.Load(),
+			"quarantine_events_total": s.fleetQuarantines.Load(),
 		},
 	})
 }

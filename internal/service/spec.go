@@ -134,19 +134,53 @@ type OptionsSpec struct {
 	Solver *SolverSpec `json:"solver,omitempty"`
 }
 
-// FleetDeviceSpec is one virtual device in a fleet job: its latency model
-// and failure probability. Every device runs the job's backend evaluator —
-// the fleet models where circuits run, not what they compute.
+// FleetDeviceSpec is one virtual device in a fleet job: its latency model,
+// failure probability, and an optional adversarial scenario. Every device
+// runs the job's backend evaluator — the fleet models where circuits run,
+// not what they compute.
 type FleetDeviceSpec struct {
 	Name string `json:"name,omitempty"`
 	// QueueMedian, Sigma, Exec, TailProb, TailFactor parameterize the
 	// lognormal + heavy-tail latency model (see qpu.LatencyModel).
+	// QueueMedian and Exec must be positive.
 	QueueMedian float64 `json:"queue_median"`
 	Sigma       float64 `json:"sigma,omitempty"`
 	Exec        float64 `json:"exec,omitempty"`
 	TailProb    float64 `json:"tail_prob,omitempty"`
 	TailFactor  float64 `json:"tail_factor,omitempty"`
+	// FailureProb is the per-submission failure probability, in [0,1).
 	FailureProb float64 `json:"failure_prob,omitempty"`
+	// Scenario injects an adversarial disturbance on this device alone; it
+	// composes with (applies after) the fleet-level shared scenario.
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+}
+
+// ScenarioSpec selects a deterministic fault-injection scenario (see
+// internal/qpu): a perturbation of a device's latency, failure probability,
+// or availability as a function of virtual time. Injections are seeded and
+// reproducible, so a chaos job reruns bit-identically.
+type ScenarioSpec struct {
+	// Kind is one of "drift", "dropout", "queue_spikes", "retry_storm".
+	Kind string `json:"kind"`
+	// Start is when a drift or dropout begins (virtual seconds).
+	Start float64 `json:"start,omitempty"`
+	// Rate is drift's fractional execution-time growth per second; Max caps
+	// the resulting multiplier (0 = the qpu default of 10x).
+	Rate float64 `json:"rate,omitempty"`
+	Max  float64 `json:"max,omitempty"`
+	// Duration is the dropout length, or each queue-spike / retry-storm
+	// window's length.
+	Duration float64 `json:"duration,omitempty"`
+	// Spacing is the mean gap between queue-spike / retry-storm windows
+	// (exponentially distributed).
+	Spacing float64 `json:"spacing,omitempty"`
+	// Factor multiplies queue delay inside a spike window (> 1).
+	Factor float64 `json:"factor,omitempty"`
+	// Prob is the failure probability inside a storm window, in (0,1].
+	Prob float64 `json:"prob,omitempty"`
+	// Seed drives the window stream of queue_spikes / retry_storm (0
+	// derives one from the fleet seed).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // FleetSpec configures fleet-mode execution of a job.
@@ -170,6 +204,23 @@ type FleetSpec struct {
 	Thresholds []float64 `json:"thresholds,omitempty"`
 	// KeepFraction in (0,1) applies the batch-boundary eager cut.
 	KeepFraction float64 `json:"keep_fraction,omitempty"`
+	// Scenario injects one shared disturbance across every device — a
+	// single scenario instance drives all of them, so window-based kinds
+	// (queue_spikes, retry_storm) hit the whole fleet together: the
+	// correlated case that defeats purely per-device mitigation.
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+	// RiskAware enables the robustness policy layer: tail-exposure batch
+	// caps, bounded retries with backoff, and quarantine/probation (see
+	// fleet.Options). The remaining knobs tune it; zero values take the
+	// fleet defaults.
+	RiskAware          bool    `json:"risk_aware,omitempty"`
+	TailBudget         float64 `json:"tail_budget,omitempty"`
+	MaxRetries         int     `json:"max_retries,omitempty"`
+	RetryBackoff       float64 `json:"retry_backoff,omitempty"`
+	QuarantineAfter    int     `json:"quarantine_after,omitempty"`
+	QuarantineFailRate float64 `json:"quarantine_fail_rate,omitempty"`
+	QuarantineTailRate float64 `json:"quarantine_tail_rate,omitempty"`
+	ProbeBackoff       float64 `json:"probe_backoff,omitempty"`
 }
 
 // specError marks a client-side job specification problem (HTTP 400).
@@ -424,6 +475,60 @@ func buildSolver(ss *SolverSpec) (cs.Options, error) {
 // maxFleetDevices bounds the device list of a fleet job.
 const maxFleetDevices = 32
 
+// buildScenario validates a ScenarioSpec and instantiates the qpu scenario.
+// where prefixes error messages ("fleet" or the device). defaultSeed seeds
+// window-based scenarios when the spec leaves Seed zero.
+func buildScenario(ss *ScenarioSpec, where string, defaultSeed int64) (qpu.Scenario, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"start", ss.Start}, {"rate", ss.Rate}, {"max", ss.Max},
+		{"duration", ss.Duration}, {"spacing", ss.Spacing},
+		{"factor", ss.Factor}, {"prob", ss.Prob},
+	} {
+		if !isFinite(p.v) || p.v < 0 {
+			return nil, specErrorf("%s: scenario %s %g is not a non-negative number", where, p.name, p.v)
+		}
+	}
+	seed := ss.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	switch strings.ToLower(ss.Kind) {
+	case "drift":
+		if ss.Rate <= 0 {
+			return nil, specErrorf("%s: drift scenario needs rate > 0", where)
+		}
+		return qpu.Drift{Start: ss.Start, Rate: ss.Rate, Max: ss.Max}, nil
+	case "dropout":
+		if ss.Duration <= 0 {
+			return nil, specErrorf("%s: dropout scenario needs duration > 0", where)
+		}
+		return qpu.Dropout{Start: ss.Start, Duration: ss.Duration}, nil
+	case "queue_spikes":
+		if ss.Spacing <= 0 || ss.Duration <= 0 {
+			return nil, specErrorf("%s: queue_spikes scenario needs spacing > 0 and duration > 0", where)
+		}
+		if ss.Factor <= 1 {
+			return nil, specErrorf("%s: queue_spikes scenario needs factor > 1, got %g", where, ss.Factor)
+		}
+		return qpu.NewQueueSpikes(seed, ss.Spacing, ss.Duration, ss.Factor), nil
+	case "retry_storm":
+		if ss.Spacing <= 0 || ss.Duration <= 0 {
+			return nil, specErrorf("%s: retry_storm scenario needs spacing > 0 and duration > 0", where)
+		}
+		if ss.Prob <= 0 || ss.Prob > 1 {
+			return nil, specErrorf("%s: retry_storm scenario needs prob in (0,1], got %g", where, ss.Prob)
+		}
+		return qpu.NewRetryStorm(seed, ss.Spacing, ss.Duration, ss.Prob), nil
+	case "":
+		return nil, specErrorf("%s: scenario missing kind", where)
+	default:
+		return nil, specErrorf("%s: unknown scenario kind %q (want drift|dropout|queue_spikes|retry_storm)", where, ss.Kind)
+	}
+}
+
 // buildFleet validates a FleetSpec and assembles the device list and
 // scheduler options (sans the server-owned cache and progress hook).
 func buildFleet(fs *FleetSpec, eval backend.Evaluator, samplingSeed int64) ([]qpu.Device, *fleet.Options, error) {
@@ -432,6 +537,19 @@ func buildFleet(fs *FleetSpec, eval backend.Evaluator, samplingSeed int64) ([]qp
 	}
 	if len(fs.Devices) > maxFleetDevices {
 		return nil, nil, specErrorf("fleet: %d devices exceeds the limit of %d", len(fs.Devices), maxFleetDevices)
+	}
+	seed := fs.Seed
+	if seed == 0 {
+		seed = samplingSeed
+	}
+	// One shared instance drives every device, which is what makes the
+	// disturbances correlated; per-device scenarios compose on top of it.
+	var shared qpu.Scenario
+	if fs.Scenario != nil {
+		var err error
+		if shared, err = buildScenario(fs.Scenario, "fleet", seed+1789); err != nil {
+			return nil, nil, err
+		}
 	}
 	devices := make([]qpu.Device, len(fs.Devices))
 	seen := make(map[string]struct{}, len(fs.Devices))
@@ -446,6 +564,30 @@ func buildFleet(fs *FleetSpec, eval backend.Evaluator, samplingSeed int64) ([]qp
 			return nil, nil, specErrorf("fleet: duplicate device name %q", name)
 		}
 		seen[name] = struct{}{}
+		// Reject degenerate latency models and failure probabilities at
+		// submission: a zero queue or exec time silently models a free
+		// device, and a failure probability of 1 can never complete a job.
+		if !isFinite(ds.QueueMedian) || ds.QueueMedian <= 0 {
+			return nil, nil, specErrorf("fleet: device %q needs queue_median > 0, got %g", name, ds.QueueMedian)
+		}
+		if !isFinite(ds.Exec) || ds.Exec <= 0 {
+			return nil, nil, specErrorf("fleet: device %q needs exec > 0, got %g", name, ds.Exec)
+		}
+		if !isFinite(ds.FailureProb) || ds.FailureProb < 0 || ds.FailureProb >= 1 {
+			return nil, nil, specErrorf("fleet: device %q failure_prob %g out of [0,1)", name, ds.FailureProb)
+		}
+		scenario := shared
+		if ds.Scenario != nil {
+			own, err := buildScenario(ds.Scenario, fmt.Sprintf("fleet: device %q", name), seed+1789+int64(i+1))
+			if err != nil {
+				return nil, nil, err
+			}
+			if scenario != nil {
+				scenario = qpu.Compose(shared, own)
+			} else {
+				scenario = own
+			}
+		}
 		devices[i] = qpu.Device{
 			Name: name,
 			Eval: eval,
@@ -457,11 +599,8 @@ func buildFleet(fs *FleetSpec, eval backend.Evaluator, samplingSeed int64) ([]qp
 				TailFactor:  ds.TailFactor,
 			},
 			FailureProb: ds.FailureProb,
+			Scenario:    scenario,
 		}
-	}
-	seed := fs.Seed
-	if seed == 0 {
-		seed = samplingSeed
 	}
 	thresholds := fs.Thresholds
 	if thresholds == nil {
@@ -477,6 +616,15 @@ func buildFleet(fs *FleetSpec, eval backend.Evaluator, samplingSeed int64) ([]qp
 		Alpha:          fs.Alpha,
 		Thresholds:     thresholds,
 		KeepFraction:   fs.KeepFraction,
+
+		RiskAware:          fs.RiskAware,
+		TailBudget:         fs.TailBudget,
+		MaxRetries:         fs.MaxRetries,
+		RetryBackoff:       fs.RetryBackoff,
+		QuarantineAfter:    fs.QuarantineAfter,
+		QuarantineFailRate: fs.QuarantineFailRate,
+		QuarantineTailRate: fs.QuarantineTailRate,
+		ProbeBackoff:       fs.ProbeBackoff,
 	}
 	// Dry-build a scheduler so every option and latency-model rejection
 	// surfaces at submission as a 400, not at run time.

@@ -521,6 +521,50 @@ func NewFleet(opt FleetOptions, devices ...Device) (*FleetScheduler, error) {
 	return fleet.New(opt, devices...)
 }
 
+// Fault injection and risk-aware scheduling. A Scenario perturbs a device's
+// latency, failure probability, or availability as a function of virtual
+// time — deterministic, seeded chaos for validating schedulers against
+// adversarial device behavior. Sharing one scenario instance across several
+// devices correlates their disturbances. FleetOptions.RiskAware enables the
+// robustness policy layer: tail-exposure batch caps, bounded retries with
+// backoff, and quarantine/probation for persistently failing devices.
+type (
+	// Scenario perturbs a device's condition over virtual time.
+	Scenario = qpu.Scenario
+	// Condition is a device's effective behavior at one instant.
+	Condition = qpu.Condition
+	// Drift ramps execution time linearly, as between calibrations.
+	Drift = qpu.Drift
+	// Dropout takes a device dark for one window of virtual time.
+	Dropout = qpu.Dropout
+	// QueueSpikes multiplies queue delay during seeded windows.
+	QueueSpikes = qpu.QueueSpikes
+	// RetryStorm raises failure probability during seeded windows.
+	RetryStorm = qpu.RetryStorm
+	// QuarantineEvent records one bench or re-admit transition of a
+	// risk-aware run.
+	QuarantineEvent = fleet.QuarantineEvent
+)
+
+// NewQueueSpikes builds a congestion-burst scenario: windows of the given
+// duration recur with exponentially distributed gaps of mean spacing,
+// multiplying queue delay by factor while active.
+func NewQueueSpikes(seed int64, spacing, duration, factor float64) *QueueSpikes {
+	return qpu.NewQueueSpikes(seed, spacing, duration, factor)
+}
+
+// NewRetryStorm builds a transient-failure-burst scenario: windows of the
+// given duration recur with exponentially distributed gaps of mean spacing,
+// raising failure probability to prob while active.
+func NewRetryStorm(seed int64, spacing, duration, prob float64) *RetryStorm {
+	return qpu.NewRetryStorm(seed, spacing, duration, prob)
+}
+
+// ComposeScenarios chains scenarios: each one's perturbation feeds the next.
+func ComposeScenarios(scenarios ...Scenario) Scenario {
+	return qpu.Compose(scenarios...)
+}
+
 // EagerCutBatched cuts a run report at a batch boundary: the quantile
 // timeout is taken over whole batch groups, so no partially-paid batch is
 // split. It returns the kept results, the effective timeout, and the time
