@@ -849,3 +849,91 @@ func BenchmarkFusedCostLayer(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLandscapeQuery measures the landscape-as-a-service hot read path:
+// batch-evaluating a fitted spline surrogate (Interpolator.AtPoints — what
+// oscard's POST /landscapes/{id}/query serves) against re-running the
+// statevector backend for the same points. The surrogate's batch values are
+// asserted bit-identical to pointwise AtPoint calls in setup, and the
+// surrogate sub-benchmark reports its measured advantage over the backend as
+// the x-vs-backend metric — the ISSUE's >= 1000x bar.
+func BenchmarkLandscapeQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(61))
+	prob, err := Random3RegularMaxCut(16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := QAOAGrid(1, 50, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The surrogate's fit data comes from the cheap analytic evaluator —
+	// what it was fitted to does not change read-path cost — while the
+	// comparison backend is the real statevector simulator.
+	analytic, err := NewAnalyticQAOA(prob, IdealNoise())
+	if err != nil {
+		b.Fatal(err)
+	}
+	recon, _, err := Reconstruct(grid, analytic.Evaluate, Options{SamplingFraction: 0.05, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip, err := Interpolate(recon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 512 query points straddling the hull, like real optimizer traffic.
+	pts := make([][]float64, 512)
+	for i := range pts {
+		p := make([]float64, 2)
+		for k, ax := range grid.Axes {
+			span := ax.Max - ax.Min
+			p[k] = ax.Min - 0.2*span + 1.4*span*rng.Float64()
+		}
+		pts[i] = p
+	}
+	dst := make([]float64, len(pts))
+	if err := ip.AtPoints(dst, pts); err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range pts {
+		if math.Float64bits(dst[i]) != math.Float64bits(ip.AtPoint(p)) {
+			b.Fatalf("batch read %d not bit-identical to pointwise: %g vs %g", i, dst[i], ip.AtPoint(p))
+		}
+	}
+	a, err := QAOAAnsatz(prob, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var backendNs float64
+	b.Run("statevector-backend", func(b *testing.B) {
+		sv, err := NewStateVector(prob, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		be := Batch(sv)
+		ctx := context.Background()
+		if _, err := be.EvaluateBatch(ctx, pts); err != nil {
+			b.Fatal(err) // warm the scratch pool
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := be.EvaluateBatch(ctx, pts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		backendNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("surrogate-query", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ip.AtPoints(dst, pts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		per := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if backendNs > 0 && per > 0 {
+			b.ReportMetric(backendNs/per, "x-vs-backend")
+		}
+	})
+}

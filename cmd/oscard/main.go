@@ -6,12 +6,16 @@
 // injected fault scenarios (drift, dropouts, correlated queue spikes and
 // retry storms) with risk-aware scheduling — retries, quarantine events,
 // and learned tail estimates surface through /jobs, /stats, and /metrics.
-// On shutdown (SIGINT/SIGTERM) it drains in-flight jobs and spills its
-// caches to -cache-file, from which the next start warm-starts.
+// Every finished reconstruction publishes its landscape into a
+// content-addressed artifact store served at /landscapes — with -artifact-dir
+// the artifacts persist on disk and survive restarts. On shutdown
+// (SIGINT/SIGTERM) it drains in-flight jobs and spills its caches to
+// -cache-file, from which the next start warm-starts.
 //
 // Usage:
 //
-//	oscard -addr :8080 -jobs 8 -cache-file /var/lib/oscard/cache.gob
+//	oscard -addr :8080 -jobs 8 -cache-file /var/lib/oscard/cache.gob \
+//	       -artifact-dir /var/lib/oscard/landscapes
 //
 // See the README's "Running as a service" section for the job JSON schema
 // and examples/service-client for a submit-and-poll client.
@@ -40,6 +44,8 @@ func main() {
 		maxQubits  = flag.Int("max-qubits", 20, "max qubits for simulator backends")
 		quantum    = flag.Float64("quantum", 0, "cache parameter quantization (0 = default)")
 		cacheFile  = flag.String("cache-file", "", "spill caches here on shutdown and warm-start from it")
+		artDir     = flag.String("artifact-dir", "", "persist published landscape artifacts here (empty = in-memory only)")
+		artLRU     = flag.Int("artifact-lru", 32, "fitted interpolators kept hot for /landscapes queries")
 		spillEvery = flag.Duration("cache-spill-interval", 0,
 			"also spill caches to -cache-file on this interval (0 = only on shutdown), so a crash loses at most one interval of memoized executions")
 		drain = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
@@ -52,7 +58,18 @@ func main() {
 		MaxGridPoints: *maxGrid,
 		MaxQubits:     *maxQubits,
 		Quantum:       *quantum,
+		ArtifactDir:   *artDir,
+		ArtifactLRU:   *artLRU,
 	})
+	if *artDir != "" {
+		n, loadErrs, dirErr := srv.ArtifactInfo()
+		switch {
+		case dirErr != "":
+			log.Printf("oscard: artifact dir unusable (serving memory-only): %s", dirErr)
+		case n > 0 || loadErrs > 0:
+			log.Printf("oscard: serving %d landscape artifacts from %s (%d unreadable skipped)", n, *artDir, loadErrs)
+		}
+	}
 	if *cacheFile != "" {
 		if err := srv.LoadCacheFile(*cacheFile); err != nil {
 			log.Printf("oscard: cache warm-start failed (continuing cold): %v", err)

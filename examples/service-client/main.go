@@ -1,7 +1,10 @@
 // Command service-client demonstrates the oscard job API: submit a
 // reconstruction job asynchronously, poll it to completion, print the
 // result, then submit the identical job again to show the server-side
-// execution cache at work. Start the server first:
+// execution cache at work. Finally it exercises the landscape-as-a-service
+// read path: the finished job's published artifact is listed and its fitted
+// surrogate batch-queried twice — the second query hits the server's
+// interpolator LRU and refits nothing. Start the server first:
 //
 //	go run ./cmd/oscard -addr :8080
 //	go run ./examples/service-client -addr http://localhost:8080
@@ -31,6 +34,7 @@ type jobView struct {
 		MinPoint    []float64 `json:"min_point"`
 		CacheHits   int64     `json:"cache_hits"`
 		CacheMisses int64     `json:"cache_misses"`
+		ArtifactID  string    `json:"artifact_id"`
 	} `json:"result"`
 }
 
@@ -49,6 +53,7 @@ func main() {
 		"tag":     "service-client-demo",
 	}
 
+	var artifactID string
 	for round := 1; round <= 2; round++ {
 		v := runOnce(*addr, job)
 		r := v.Result
@@ -57,8 +62,84 @@ func main() {
 		if round == 2 && r.CacheHits != int64(r.Samples) {
 			log.Fatalf("expected the identical second job to be fully cache-served, got %d/%d hits", r.CacheHits, r.Samples)
 		}
+		artifactID = r.ArtifactID
 	}
 	fmt.Println("the second job re-executed nothing: the server cached every circuit execution")
+
+	// Both rounds produced identical content, so they share one artifact:
+	// query its fitted surrogate — no backend, no reconstruction, just the
+	// vectorized spline read path.
+	if artifactID == "" {
+		log.Fatal("finished job reported no artifact id")
+	}
+	queryArtifact(*addr, artifactID)
+}
+
+// queryArtifact lists the landscape store and batch-queries one artifact's
+// surrogate at its reconstructed minimum and a few perturbations of it.
+func queryArtifact(addr, id string) {
+	resp, err := http.Get(addr + "/landscapes")
+	if err != nil {
+		log.Fatalf("list landscapes: %v", err)
+	}
+	var list struct {
+		Landscapes []struct {
+			ID     string `json:"id"`
+			Points int    `json:"points"`
+		} `json:"landscapes"`
+	}
+	decodeJSON(resp, &list)
+	fmt.Printf("server holds %d landscape artifact(s)\n", len(list.Landscapes))
+
+	var meta struct {
+		Axes []struct {
+			Min float64 `json:"min"`
+			Max float64 `json:"max"`
+		} `json:"axes"`
+	}
+	resp, err = http.Get(addr + "/landscapes/" + id)
+	if err != nil {
+		log.Fatalf("artifact metadata: %v", err)
+	}
+	decodeJSON(resp, &meta)
+
+	points := [][]float64{}
+	for i := 0; i < 8; i++ {
+		p := make([]float64, len(meta.Axes))
+		for k, ax := range meta.Axes {
+			p[k] = ax.Min + (ax.Max-ax.Min)*float64(i)/7
+		}
+		points = append(points, p)
+	}
+	for round := 1; round <= 2; round++ {
+		body, _ := json.Marshal(map[string]any{"points": points, "gradients": true})
+		resp, err := http.Post(addr+"/landscapes/"+id+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatalf("query: %v", err)
+		}
+		var out struct {
+			Count  int       `json:"count"`
+			Values []float64 `json:"values"`
+			Error  string    `json:"error"`
+		}
+		decodeJSON(resp, &out)
+		if out.Error != "" {
+			log.Fatalf("query rejected: %s", out.Error)
+		}
+		fmt.Printf("query round %d: %d surrogate values, first %.4f\n", round, out.Count, out.Values[0])
+	}
+	fmt.Println("the second query reused the fitted surrogate from the server's LRU")
+}
+
+func decodeJSON(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		log.Fatalf("bad response %q: %v", data, err)
+	}
 }
 
 func runOnce(addr string, job map[string]any) jobView {

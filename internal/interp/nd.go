@@ -1,21 +1,23 @@
 package interp
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // NDSpline is a tensor-product natural cubic spline on an N-dimensional
 // rectangular grid — the ND generalization of Bicubic. Evaluation collapses
 // one axis at a time from the last to the first: prefitted splines along the
 // last axis reduce the data to an (N-1)-dimensional slab, and each remaining
-// axis is collapsed with a freshly fitted cross spline, exactly the
-// "column splines, then a row spline" scheme Bicubic uses. On a 2-axis grid
-// every operation matches Bicubic step for step, so the two agree
-// bit-for-bit; Bicubic remains the 2-D fast path with its (x, y) signature.
+// axis is collapsed with a cross spline fitted through that axis's
+// prefactorized tridiagonal system, exactly the "column splines, then a row
+// spline" scheme Bicubic uses. On a 2-axis grid every operation matches
+// Bicubic step for step, so the two agree bit-for-bit; Bicubic remains the
+// 2-D fast path with its (x, y) signature. Queries outside the grid clamp to
+// the hull coordinate-wise.
 type NDSpline struct {
-	axes [][]float64
-	last []*Spline // one prefit spline per line along the last axis
+	axes    [][]float64
+	last    []*Spline // one prefit spline per line along the last axis
+	cross   []*tri    // factorized per-axis systems for axes 0..k-2
+	maxN    int       // largest cross-axis knot count (scratch sizing)
+	workers int
 }
 
 // NewNDSpline fits a tensor-product spline to row-major data (last axis
@@ -47,15 +49,21 @@ func NewNDSpline(axes [][]float64, data []float64) (*NDSpline, error) {
 		}
 		s.last[l] = sp
 	}
-	// Validate the remaining axes eagerly so At never fails: fitting a
-	// cross spline over constant zeros exercises the same knot checks.
-	zero := make([]float64, 0)
+	// Validate and factorize the remaining axes eagerly so at never fails.
+	s.cross = make([]*tri, len(axes)-1)
 	for k := 0; k < len(axes)-1; k++ {
-		if cap(zero) < len(axes[k]) {
-			zero = make([]float64, len(axes[k]))
+		ax := s.axes[k]
+		if len(ax) < 2 {
+			return nil, fmt.Errorf("interp: need >= 2 knots, got %d", len(ax))
 		}
-		if _, err := NewSpline(s.axes[k], zero[:len(axes[k])]); err != nil {
-			return nil, err
+		for i := 1; i < len(ax); i++ {
+			if !(ax[i] > ax[i-1]) {
+				return nil, fmt.Errorf("interp: xs not strictly increasing at %d", i)
+			}
+		}
+		s.cross[k] = newTri(ax)
+		if len(ax) > s.maxN {
+			s.maxN = len(ax)
 		}
 	}
 	return s, nil
@@ -64,11 +72,26 @@ func NewNDSpline(axes [][]float64, data []float64) (*NDSpline, error) {
 // Arity reports the number of parameter axes.
 func (s *NDSpline) Arity() int { return len(s.axes) }
 
-// At evaluates the interpolant at an N-vector p (len(p) == Arity), clamping
-// out-of-range coordinates to the boundary segments like Spline.At.
-func (s *NDSpline) At(p []float64) float64 {
+// ndScratch is the per-worker evaluation state of an NDSpline: the axis
+// collapse vector, cross-fit buffers, and a probe vector for gradients. One
+// scratch serves any number of sequential queries with zero allocations.
+type ndScratch struct {
+	cur, m, d, pp []float64
+}
+
+func (s *NDSpline) newScratch() *ndScratch {
+	return &ndScratch{
+		cur: make([]float64, len(s.last)),
+		m:   make([]float64, s.maxN),
+		d:   make([]float64, s.maxN),
+		pp:  make([]float64, len(s.axes)),
+	}
+}
+
+// at evaluates the interpolant at p using sc for scratch.
+func (s *NDSpline) at(p []float64, sc *ndScratch) float64 {
 	k := len(s.axes)
-	cur := make([]float64, len(s.last))
+	cur := sc.cur[:len(s.last)]
 	for l, sp := range s.last {
 		cur[l] = sp.At(p[k-1])
 	}
@@ -76,45 +99,56 @@ func (s *NDSpline) At(p []float64) float64 {
 		d := len(s.axes[ax])
 		lines := len(cur) / d
 		for l := 0; l < lines; l++ {
-			cross, err := NewSpline(s.axes[ax], cur[l*d:(l+1)*d])
-			if err != nil {
-				// Unreachable: axes were validated at construction.
-				return math.NaN()
-			}
-			cur[l] = cross.At(p[ax])
+			line := cur[l*d : (l+1)*d]
+			s.cross[ax].fit(line, sc.m, sc.d)
+			cur[l] = evalClamped(s.axes[ax], line, sc.m, p[ax])
 		}
 		cur = cur[:lines]
 	}
 	return cur[0]
 }
 
-// Gradient estimates the gradient at p by central differences with steps
-// proportional to each axis's grid spacing — the same step rule as
-// Bicubic.Gradient, so the two agree exactly on 2-axis grids.
-func (s *NDSpline) Gradient(p []float64) []float64 {
-	g := make([]float64, len(s.axes))
-	pp := append([]float64(nil), p...)
+// At evaluates the interpolant at an N-vector p (len(p) == Arity), clamping
+// out-of-range coordinates to the grid hull like Spline.At.
+func (s *NDSpline) At(p []float64) float64 {
+	return s.at(p, s.newScratch())
+}
+
+// grad estimates the gradient at p into g, reusing sc for every probe.
+func (s *NDSpline) grad(p, g []float64, sc *ndScratch) {
+	pp := sc.pp
+	copy(pp, p)
 	for k, ax := range s.axes {
 		h := (ax[len(ax)-1] - ax[0]) / float64(len(ax)-1) / 10
 		pp[k] = p[k] + h
-		hi := s.At(pp)
+		hi := s.at(pp, sc)
 		pp[k] = p[k] - h
-		lo := s.At(pp)
+		lo := s.at(pp, sc)
 		pp[k] = p[k]
 		g[k] = (hi - lo) / (2 * h)
 	}
+}
+
+// Gradient estimates the gradient at p by central differences with steps
+// proportional to each axis's grid spacing — the same step rule as
+// Bicubic.Gradient, so the two agree exactly on 2-axis grids. Near the hull
+// boundary the clamped probes degrade the estimate to a one-sided
+// difference; outside the hull it is zero along the clamped axes.
+func (s *NDSpline) Gradient(p []float64) []float64 {
+	g := make([]float64, len(s.axes))
+	s.grad(p, g, s.newScratch())
 	return g
 }
 
 // AtPoint evaluates at a parameter vector; it is At under the name the
-// oscar.Interpolator interface uses.
+// Interpolator interface uses.
 func (s *NDSpline) AtPoint(p []float64) float64 { return s.At(p) }
 
-// GradientAt is Gradient under the oscar.Interpolator interface name.
+// GradientAt is Gradient under the Interpolator interface name.
 func (s *NDSpline) GradientAt(p []float64) []float64 { return s.Gradient(p) }
 
 // Arity reports the number of parameter axes (always 2), making Bicubic
-// satisfy the oscar.Interpolator interface alongside NDSpline.
+// satisfy the Interpolator interface alongside NDSpline.
 func (b *Bicubic) Arity() int { return 2 }
 
 // AtPoint evaluates the surface at p = (x, y).
@@ -124,4 +158,39 @@ func (b *Bicubic) AtPoint(p []float64) float64 { return b.At(p[0], p[1]) }
 func (b *Bicubic) GradientAt(p []float64) []float64 {
 	dx, dy := b.Gradient(p[0], p[1])
 	return []float64{dx, dy}
+}
+
+// Interpolator is a continuously queryable surrogate of a fitted landscape,
+// independent of its dimensionality. Bicubic (2-D fast path) and NDSpline
+// (any arity) both satisfy it; Fit picks between them by axis count.
+// Out-of-domain queries clamp to the grid hull on every method.
+type Interpolator interface {
+	// Arity reports the number of parameter axes.
+	Arity() int
+	// AtPoint evaluates the surrogate at a parameter vector of length
+	// Arity (out-of-range coordinates clamp to the grid hull).
+	AtPoint(p []float64) float64
+	// GradientAt estimates the gradient at p by central differences with
+	// grid-spacing-proportional steps.
+	GradientAt(p []float64) []float64
+	// AtPoints evaluates the surrogate at every pts[i] into dst[i] —
+	// len(dst) == len(pts), every point of length Arity — sharded across
+	// the worker budget, bit-identically for every worker count, with no
+	// per-point allocations.
+	AtPoints(dst []float64, pts [][]float64) error
+	// GradientAtPoints estimates the gradient at every pts[i] into dst[i]
+	// (each dst[i] a caller-allocated vector of length Arity), under the
+	// same sharding and determinism contract as AtPoints.
+	GradientAtPoints(dst [][]float64, pts [][]float64) error
+}
+
+// Fit fits the canonical surrogate for an axis count: the paper's
+// rectangular bivariate spline (Bicubic) for 2 axes — the historical fast
+// path — and the tensor-product NDSpline for any other arity. data is
+// row-major with the last axis fastest, matching landscape.Grid's layout.
+func Fit(axes [][]float64, data []float64) (Interpolator, error) {
+	if len(axes) == 2 {
+		return NewBicubic(axes[0], axes[1], data)
+	}
+	return NewNDSpline(axes, data)
 }

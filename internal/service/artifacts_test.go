@@ -1,0 +1,365 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/landscape"
+)
+
+// submitArtifactJob runs one wait-mode job and returns its artifact id.
+func submitArtifactJob(t *testing.T, s *Server, body string) string {
+	t.Helper()
+	rec, out := do(t, s, "POST", "/jobs", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("job failed: %d %v", rec.Code, out)
+	}
+	res, _ := out["result"].(map[string]any)
+	if res == nil {
+		t.Fatalf("no result: %v", out)
+	}
+	id, _ := res["artifact_id"].(string)
+	if id == "" {
+		t.Fatalf("finished job published no artifact: %v", res)
+	}
+	return id
+}
+
+// queryPoints builds a deterministic batch straddling the grid hull.
+func queryArtifactPoints(rng *rand.Rand, n int, axes []landscape.Axis) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, len(axes))
+		for k, ax := range axes {
+			span := ax.Max - ax.Min
+			p[k] = ax.Min - 0.5*span + 2*span*rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// postQuery POSTs a query batch and decodes values (and gradients) with
+// exact float64 round-tripping.
+func postQuery(t *testing.T, s *Server, id string, pts [][]float64, gradients bool) (int, []float64, [][]float64) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"points": pts, "gradients": gradients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := do(t, s, "POST", "/landscapes/"+id+"/query", string(body))
+	var resp struct {
+		Values    []float64   `json:"values"`
+		Gradients [][]float64 `json:"gradients"`
+	}
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decoding query response: %v", err)
+		}
+	}
+	return rec.Code, resp.Values, resp.Gradients
+}
+
+// artifactStatsBlock fetches the /stats artifacts block.
+func artifactStatsBlock(t *testing.T, s *Server) map[string]any {
+	t.Helper()
+	rec, out := do(t, s, "GET", "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	block, _ := out["artifacts"].(map[string]any)
+	if block == nil {
+		t.Fatalf("stats has no artifacts block: %v", out)
+	}
+	return block
+}
+
+// TestArtifactPublishListGet: a finished job publishes a content-addressed
+// artifact; the listing and metadata endpoints serve it; unknown ids 404.
+func TestArtifactPublishListGet(t *testing.T) {
+	s := newTestServer(t, Config{})
+	id := submitArtifactJob(t, s, smallJob())
+	if !strings.HasPrefix(id, "ls-") {
+		t.Fatalf("artifact id %q, want ls- prefix", id)
+	}
+
+	rec, out := do(t, s, "GET", "/landscapes", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list: %d", rec.Code)
+	}
+	list, _ := out["landscapes"].([]any)
+	if len(list) != 1 {
+		t.Fatalf("listed %d artifacts, want 1", len(list))
+	}
+
+	rec, meta := do(t, s, "GET", "/landscapes/"+id, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get: %d %v", rec.Code, meta)
+	}
+	if meta["id"] != id {
+		t.Fatalf("metadata id %v, want %s", meta["id"], id)
+	}
+	if pts := meta["points"].(float64); pts != 12*14 {
+		t.Fatalf("points %v, want %d", pts, 12*14)
+	}
+	axes, _ := meta["axes"].([]any)
+	if len(axes) != 2 {
+		t.Fatalf("axes %v, want 2", axes)
+	}
+	solver, _ := meta["solver"].(map[string]any)
+	if solver == nil || solver["method"] != "fista" || solver["sampling_fraction"].(float64) != 0.25 {
+		t.Fatalf("solver provenance %v", meta["solver"])
+	}
+	if meta["nrmse"] != nil {
+		t.Fatalf("nrmse %v, want null (unknown)", meta["nrmse"])
+	}
+
+	// Identical job → identical content → the same artifact (dedup).
+	if id2 := submitArtifactJob(t, s, smallJob()); id2 != id {
+		t.Fatalf("identical job published a different artifact: %s vs %s", id2, id)
+	}
+	if n := artifactStatsBlock(t, s)["count"].(float64); n != 1 {
+		t.Fatalf("store holds %v artifacts after dedup, want 1", n)
+	}
+
+	for _, path := range []string{"/landscapes/ls-nope", "/landscapes/ls-nope/grid"} {
+		if rec, _ := do(t, s, "GET", path, ""); rec.Code != http.StatusNotFound {
+			t.Fatalf("GET %s: %d, want 404", path, rec.Code)
+		}
+	}
+	if code, _, _ := postQuery(t, s, "ls-nope", [][]float64{{0, 0}}, false); code != http.StatusNotFound {
+		t.Fatalf("query of unknown artifact: %d, want 404", code)
+	}
+}
+
+// TestArtifactQueryMatchesInProcess: served values and gradients are
+// bit-identical to fitting and evaluating the same artifact in process —
+// through JSON, across LRU hits, misses, and eviction-forced refits.
+func TestArtifactQueryMatchesInProcess(t *testing.T) {
+	// LRU of 1: publishing two artifacts and alternating queries forces
+	// evict-then-refit on every switch.
+	s := newTestServer(t, Config{ArtifactLRU: 1})
+	idA := submitArtifactJob(t, s, smallJob())
+	idB := submitArtifactJob(t, s, `{
+		"problem": {"kind": "maxcut3", "n": 8, "seed": 8},
+		"backend": {"kind": "analytic"},
+		"grid": {"beta_n": 9, "gamma_n": 11},
+		"options": {"sampling_fraction": 0.3, "seed": 2},
+		"wait": true
+	}`)
+
+	// Fit the reference surrogates in process from the served grid data.
+	want := map[string]struct {
+		ip   interp.Interpolator
+		axes []landscape.Axis
+	}{}
+	for _, id := range []string{idA, idB} {
+		rec, _ := do(t, s, "GET", "/landscapes/"+id+"/grid", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("grid: %d", rec.Code)
+		}
+		var grid struct {
+			Meta struct {
+				Axes []AxisSpec `json:"axes"`
+			} `json:"meta"`
+			Data []float64 `json:"data"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &grid); err != nil {
+			t.Fatal(err)
+		}
+		axes := make([]landscape.Axis, len(grid.Meta.Axes))
+		knots := make([][]float64, len(grid.Meta.Axes))
+		for i, a := range grid.Meta.Axes {
+			axes[i] = landscape.Axis{Name: a.Name, Min: a.Min, Max: a.Max, N: a.N}
+			knots[i] = axes[i].Values()
+		}
+		ip, err := interp.Fit(knots, grid.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = struct {
+			ip   interp.Interpolator
+			axes []landscape.Axis
+		}{ip, axes}
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 3; round++ {
+		for _, id := range []string{idA, idB} {
+			ref := want[id]
+			pts := queryArtifactPoints(rng, 57, ref.axes)
+			code, values, grads := postQuery(t, s, id, pts, true)
+			if code != http.StatusOK {
+				t.Fatalf("query: %d", code)
+			}
+			if len(values) != len(pts) || len(grads) != len(pts) {
+				t.Fatalf("got %d values / %d gradients for %d points", len(values), len(grads), len(pts))
+			}
+			for i, p := range pts {
+				if math.Float64bits(values[i]) != math.Float64bits(ref.ip.AtPoint(p)) {
+					t.Fatalf("round %d %s: value %d: served %g != in-process %g",
+						round, id, i, values[i], ref.ip.AtPoint(p))
+				}
+				g := ref.ip.GradientAt(p)
+				for k := range g {
+					if math.Float64bits(grads[i][k]) != math.Float64bits(g[k]) {
+						t.Fatalf("round %d %s: gradient %d[%d]: served %g != in-process %g",
+							round, id, i, k, grads[i][k], g[k])
+					}
+				}
+			}
+		}
+	}
+
+	// With capacity 1 and alternating artifacts, every switch evicts: the
+	// interleaved rounds above are mostly misses; re-query one artifact twice
+	// in a row and the second must be an LRU hit.
+	stats := artifactStatsBlock(t, s)
+	missesBefore, hitsBefore := stats["lru_misses"].(float64), stats["lru_hits"].(float64)
+	if stats["evictions"].(float64) == 0 {
+		t.Fatal("alternating queries with lru capacity 1 evicted nothing")
+	}
+	pts := queryArtifactPoints(rng, 5, want[idA].axes)
+	if code, _, _ := postQuery(t, s, idA, pts, false); code != http.StatusOK {
+		t.Fatal("warm query failed")
+	}
+	if code, _, _ := postQuery(t, s, idA, pts, false); code != http.StatusOK {
+		t.Fatal("hot query failed")
+	}
+	stats = artifactStatsBlock(t, s)
+	if miss := stats["lru_misses"].(float64) - missesBefore; miss != 1 {
+		t.Fatalf("misses after back-to-back queries: %v, want 1", miss)
+	}
+	if hits := stats["lru_hits"].(float64) - hitsBefore; hits != 1 {
+		t.Fatalf("hits after back-to-back queries: %v, want 1", hits)
+	}
+	if qp := stats["query_points"].(float64); qp == 0 {
+		t.Fatal("query_points counter never moved")
+	}
+}
+
+// TestArtifactQueryValidation: malformed batches answer 400 before any
+// evaluation.
+func TestArtifactQueryValidation(t *testing.T) {
+	s := newTestServer(t, Config{MaxQueryPoints: 4})
+	id := submitArtifactJob(t, s, smallJob())
+	cases := []struct {
+		name, body string
+	}{
+		{"not json", "nope"},
+		{"no points", `{"points": []}`},
+		{"missing points", `{}`},
+		{"wrong arity", `{"points": [[0.1]]}`},
+		{"extra coordinate", `{"points": [[0.1, 0.2, 0.3]]}`},
+		{"non-finite", `{"points": [[0.1, 1e999]]}`},
+		{"over limit", `{"points": [[0,0],[0,0],[0,0],[0,0],[0,0]]}`},
+		{"unknown field", `{"points": [[0,0]], "wat": 1}`},
+	}
+	for _, c := range cases {
+		rec, out := do(t, s, "POST", "/landscapes/"+id+"/query", c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%v), want 400", c.name, rec.Code, out)
+		}
+	}
+	// The in-range batch still works after all the rejects.
+	if code, values, _ := postQuery(t, s, id, [][]float64{{0.1, 0.2}}, false); code != http.StatusOK || len(values) != 1 {
+		t.Fatalf("valid query after rejects: %d", code)
+	}
+}
+
+// TestArtifactRestartSurvival: a disk-backed store reloads its artifacts on
+// restart and serves bit-identical values, including NaN data holes.
+func TestArtifactRestartSurvival(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Config{ArtifactDir: dir})
+	id := submitArtifactJob(t, s1, smallJob())
+	pts := [][]float64{{0.3, 1.1}, {-9, 99}, {0.7, 2.0}}
+	_, before, _ := postQuery(t, s1, id, pts, false)
+	s1.Close()
+
+	s2 := newTestServer(t, Config{ArtifactDir: dir})
+	rec, out := do(t, s2, "GET", "/landscapes", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list after restart: %d", rec.Code)
+	}
+	if list, _ := out["landscapes"].([]any); len(list) != 1 {
+		t.Fatalf("restarted store lists %d artifacts, want 1", len(list))
+	}
+	code, after, _ := postQuery(t, s2, id, pts, false)
+	if code != http.StatusOK {
+		t.Fatalf("query after restart: %d", code)
+	}
+	for i := range before {
+		if math.Float64bits(before[i]) != math.Float64bits(after[i]) {
+			t.Fatalf("value %d changed across restart: %g vs %g", i, before[i], after[i])
+		}
+	}
+	// The restarted server never ran a job: its artifact came purely from
+	// disk, and publishing the same job again deduplicates against it.
+	if n := artifactStatsBlock(t, s2)["published"].(float64); n != 0 {
+		t.Fatalf("restarted server counts %v publishes, want 0", n)
+	}
+	if id2 := submitArtifactJob(t, s2, smallJob()); id2 != id {
+		t.Fatalf("restarted server republished as %s, want %s", id2, id)
+	}
+}
+
+// TestArtifactCorruptFileSkipped: a damaged artifact file is skipped at boot
+// (counted, not fatal) while healthy ones load.
+func TestArtifactCorruptFileSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Config{ArtifactDir: dir})
+	submitArtifactJob(t, s1, smallJob())
+	s1.Close()
+
+	if err := writeFile(dir+"/ls-deadbeef00000000.landscape", "oscar-landscape-artifact 2\n{broken"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestServer(t, Config{ArtifactDir: dir})
+	stats := artifactStatsBlock(t, s2)
+	if stats["count"].(float64) != 1 {
+		t.Fatalf("store count %v, want 1 (healthy artifact only)", stats["count"])
+	}
+	if stats["load_errors"].(float64) != 1 {
+		t.Fatalf("load_errors %v, want 1", stats["load_errors"])
+	}
+}
+
+// TestArtifactMetrics: the /metrics export carries the artifact counters the
+// CI smoke job asserts on.
+func TestArtifactMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	id := submitArtifactJob(t, s, smallJob())
+	pts := [][]float64{{0.2, 0.9}}
+	postQuery(t, s, id, pts, false)
+	postQuery(t, s, id, pts, false)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		"oscard_artifacts 1\n",
+		"oscard_artifacts_published_total 1\n",
+		"oscard_artifact_lru_hits_total 1\n",
+		"oscard_artifact_lru_misses_total 1\n",
+		"oscard_artifact_lru_entries 1\n",
+		"oscard_artifact_query_points_total 2\n",
+		"oscard_artifact_evictions_total 0\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", strings.TrimSpace(want))
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

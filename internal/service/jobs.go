@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -150,6 +151,11 @@ type JobResult struct {
 	// jobs on one cache interleave their accounting).
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+
+	// ArtifactID names the landscape artifact this job published — query it
+	// via GET/POST /landscapes/{id}/... without rerunning anything. Empty
+	// only if publication failed.
+	ArtifactID string `json:"artifact_id,omitempty"`
 
 	// Fleet summarizes fleet-mode execution (nil for plain jobs).
 	Fleet *FleetResult `json:"fleet,omitempty"`
@@ -350,7 +356,36 @@ func (s *Server) buildResult(j *Job, recon *landscape.Landscape, stats *core.Sta
 		res.CacheHits = j.cache.Hits() - h0
 		res.CacheMisses = j.cache.Misses() - m0
 	}
+	// Publish the reconstruction as a landscape artifact so /landscapes can
+	// serve it after the job is gone (and across restarts when the store is
+	// disk-backed). A publish failure never fails the job — the result above
+	// is already correct — it only counts against the store.
+	art := landscape.NewArtifact(recon)
+	art.Fingerprint = j.built.configKey
+	art.Solver = landscape.SolverMeta{
+		Method:           solverMethodName(j.spec.Options.Solver),
+		SamplingFraction: j.spec.Options.SamplingFraction,
+		Seed:             j.spec.Options.Seed,
+		Iterations:       stats.SolverIterations,
+		Residual:         stats.Residual,
+		Sparsity:         stats.Sparsity,
+	}
+	art.CreatedAt = time.Now()
+	id, err := s.artifacts.publish(art)
+	if err != nil {
+		s.artifacts.publishErrors.Add(1)
+	}
+	res.ArtifactID = id
 	return res
+}
+
+// solverMethodName canonicalizes the spec's solver method for artifact
+// provenance (the default is FISTA, matching buildSolver).
+func solverMethodName(ss *SolverSpec) string {
+	if ss == nil || ss.Method == "" {
+		return "fista"
+	}
+	return strings.ToLower(ss.Method)
 }
 
 // finishJob records a job outcome exactly once.

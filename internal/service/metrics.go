@@ -79,6 +79,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("oscard_cache_configs", "Distinct device configurations holding a cache.")
 	fmt.Fprintf(&b, "oscard_cache_configs %d\n", configs)
 
+	arts, fitted := s.artifacts.len()
+	gauge("oscard_artifacts", "Landscape artifacts available for serving.")
+	fmt.Fprintf(&b, "oscard_artifacts %d\n", arts)
+	gauge("oscard_artifact_lru_entries", "Fitted interpolators resident in the artifact LRU.")
+	fmt.Fprintf(&b, "oscard_artifact_lru_entries %d\n", fitted)
+	counter("oscard_artifacts_published_total", "Landscape artifacts published by finished jobs this process.")
+	fmt.Fprintf(&b, "oscard_artifacts_published_total %d\n", s.artifacts.published.Load())
+	counter("oscard_artifact_lru_hits_total", "Artifact queries served by an already-fitted interpolator.")
+	fmt.Fprintf(&b, "oscard_artifact_lru_hits_total %d\n", s.artifacts.lruHits.Load())
+	counter("oscard_artifact_lru_misses_total", "Artifact queries that had to fit (or refit) the interpolator.")
+	fmt.Fprintf(&b, "oscard_artifact_lru_misses_total %d\n", s.artifacts.lruMisses.Load())
+	counter("oscard_artifact_evictions_total", "Fitted interpolators evicted from the artifact LRU.")
+	fmt.Fprintf(&b, "oscard_artifact_evictions_total %d\n", s.artifacts.evictions.Load())
+	counter("oscard_artifact_query_points_total", "Points served by the artifact query endpoint.")
+	fmt.Fprintf(&b, "oscard_artifact_query_points_total %d\n", s.artifacts.queryPoints.Load())
+	counter("oscard_artifact_load_errors_total", "Artifacts on disk that failed to load at boot.")
+	fmt.Fprintf(&b, "oscard_artifact_load_errors_total %d\n", s.artifacts.loadErrors.Load())
+	counter("oscard_artifact_publish_errors_total", "Artifact disk writes that failed at publish.")
+	fmt.Fprintf(&b, "oscard_artifact_publish_errors_total %d\n", s.artifacts.publishErrors.Load())
+
 	counter("oscard_fleet_retries_total", "Failed fleet dispatches that were retried or re-dispatched, over finished jobs.")
 	fmt.Fprintf(&b, "oscard_fleet_retries_total %d\n", s.fleetRetries.Load())
 	counter("oscard_fleet_quarantine_events_total", "Fleet quarantine transitions (bench and re-admit), over finished jobs.")

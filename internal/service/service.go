@@ -15,11 +15,27 @@
 //	DELETE /jobs/{id} cancel a queued or running job
 //	GET    /stats     cache hit/miss/size per device configuration,
 //	                  job counts, per-job timings, recovered panics,
-//	                  fleet retry and quarantine totals
+//	                  fleet retry and quarantine totals, artifact-store
+//	                  counters
 //	GET    /metrics   Prometheus text-format export: job states, cache
 //	                  counters, fleet retry/quarantine counters, learned
-//	                  batch-size and tail-estimate gauges
+//	                  batch-size and tail-estimate gauges, artifact-store
+//	                  counters
 //	GET    /healthz   liveness probe
+//
+//	GET    /landscapes             list published landscape artifacts
+//	GET    /landscapes/{id}        one artifact's metadata
+//	GET    /landscapes/{id}/grid   the artifact's dense grid data
+//	POST   /landscapes/{id}/query  batch-evaluate the fitted surrogate
+//	                               (values and optional gradients; never
+//	                               touches a backend)
+//
+// Every finished reconstruction publishes its landscape into a
+// content-addressed artifact store (disk-backed when Config.ArtifactDir is
+// set, so artifacts survive restarts) and reports the artifact id in its
+// result. The query endpoint evaluates batches on a fitted spline surrogate
+// served from a bounded LRU: hot artifacts never refit, evicted ones refit
+// on demand with bit-identical results.
 //
 // Jobs carrying a "fleet" block run in fleet mode: sampling is dispatched
 // across a list of virtual devices with adaptive batch sizing
@@ -78,6 +94,15 @@ type Config struct {
 	MaxJobsKept int
 	// MaxBodyBytes bounds request bodies. Default 1<<20.
 	MaxBodyBytes int64
+	// ArtifactDir, when set, persists published landscape artifacts there so
+	// they survive restarts. Empty keeps them in memory only.
+	ArtifactDir string
+	// ArtifactLRU bounds the fitted interpolators kept hot for the
+	// /landscapes query path (artifacts beyond it refit on demand,
+	// bit-identically). Default 32.
+	ArtifactLRU int
+	// MaxQueryPoints bounds one /landscapes query batch. Default 1<<16.
+	MaxQueryPoints int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +127,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.ArtifactLRU <= 0 {
+		c.ArtifactLRU = 32
+	}
+	if c.MaxQueryPoints <= 0 {
+		c.MaxQueryPoints = 1 << 16
+	}
 	return c
 }
 
@@ -121,6 +152,10 @@ type Server struct {
 	order  []string // submission order, for listing and eviction
 	seq    int64
 	caches map[string]*exec.Cache
+
+	// artifacts is the landscape-as-a-service store: finished
+	// reconstructions publish into it and /landscapes serves out of it.
+	artifacts *artifactStore
 
 	panics atomic.Int64
 	// fleetRetries and fleetQuarantines accumulate over finished fleet
@@ -142,12 +177,17 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 		caches:     make(map[string]*exec.Cache),
+		artifacts:  newArtifactStore(cfg.ArtifactDir, cfg.ArtifactLRU, cfg.JobWorkers),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /landscapes", s.handleArtifactList)
+	mux.HandleFunc("GET /landscapes/{id}", s.handleArtifactGet)
+	mux.HandleFunc("GET /landscapes/{id}/grid", s.handleArtifactGrid)
+	mux.HandleFunc("POST /landscapes/{id}/query", s.handleArtifactQuery)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -389,6 +429,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"retries_total":           s.fleetRetries.Load(),
 			"quarantine_events_total": s.fleetQuarantines.Load(),
 		},
+		"artifacts": s.artifactStats(),
 	})
 }
 

@@ -27,6 +27,7 @@ package oscar
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 
@@ -89,17 +90,51 @@ type (
 // Interpolator is a continuously queryable surrogate of a reconstructed
 // landscape, independent of its dimensionality. Bicubic (2-D fast path) and
 // NDSpline (any arity) both satisfy it; Interpolate picks between them by
-// the landscape's axis count.
-type Interpolator interface {
-	// Arity reports the number of parameter axes.
-	Arity() int
-	// AtPoint evaluates the surrogate at a parameter vector of length
-	// Arity (out-of-range coordinates clamp to the boundary segments).
-	AtPoint(p []float64) float64
-	// GradientAt estimates the gradient at p by central differences with
-	// grid-spacing-proportional steps.
-	GradientAt(p []float64) []float64
-}
+// the landscape's axis count. Beyond pointwise AtPoint/GradientAt it carries
+// the allocation-free batch read path — AtPoints/GradientAtPoints evaluate
+// whole batches sharded across workers, bit-identically to pointwise calls
+// for every worker count. Out-of-domain queries clamp to the grid hull on
+// every method: the surrogate never extrapolates beyond the fitted data.
+type Interpolator = interp.Interpolator
+
+// Landscape artifacts: the self-describing persisted form of a landscape —
+// format-versioned, checksummed, carrying grid axes, problem/backend
+// fingerprint, solver provenance, and reconstruction quality. Artifacts are
+// what oscard's /landscapes store publishes and serves; the same files load
+// anywhere via LoadArtifact.
+type (
+	// Artifact is a persisted landscape with provenance and a content
+	// checksum; its ID() is a stable content address.
+	Artifact = landscape.Artifact
+	// ArtifactSolverMeta records how an artifact's data was produced.
+	ArtifactSolverMeta = landscape.SolverMeta
+)
+
+// ArtifactVersion is the current on-disk artifact format version.
+const ArtifactVersion = landscape.ArtifactVersion
+
+// ErrBadArtifact marks a truncated, corrupt, or unknown-version artifact;
+// errors from LoadArtifact wrap it.
+var ErrBadArtifact = landscape.ErrBadArtifact
+
+// NewArtifact wraps a landscape in an artifact with unknown NRMSE; fill
+// Fingerprint, Solver, and CreatedAt as provenance is known.
+func NewArtifact(l *Landscape) *Artifact { return landscape.NewArtifact(l) }
+
+// SaveArtifact writes an artifact in the versioned, checksummed format.
+func SaveArtifact(w io.Writer, a *Artifact) error { return landscape.SaveArtifact(w, a) }
+
+// LoadArtifact reads an artifact written by SaveArtifact — or a legacy
+// bare-JSON landscape — verifying version, shape, and checksum; damaged
+// input fails with an error wrapping ErrBadArtifact.
+func LoadArtifact(r io.Reader) (*Artifact, error) { return landscape.LoadArtifact(r) }
+
+// SaveArtifactFile writes an artifact to path atomically (temp file +
+// rename), so readers never see a torn artifact.
+func SaveArtifactFile(path string, a *Artifact) error { return landscape.SaveArtifactFile(path, a) }
+
+// LoadArtifactFile reads an artifact from path.
+func LoadArtifactFile(path string) (*Artifact, error) { return landscape.LoadArtifactFile(path) }
 
 // Batched execution engine types. Every evaluation fan-out in the library —
 // landscape scans, reconstruction sampling, optimizer stencils, ZNE sweeps,
@@ -338,14 +373,11 @@ func DepolarizingNoise(name string, p1, p2 float64) NoiseProfile {
 // historical 2-D-only Interpolate); any other axis count gets the
 // tensor-product NDSpline, so p>1 QAOA landscapes interpolate the same way.
 func Interpolate(l *Landscape) (Interpolator, error) {
-	if len(l.Grid.Axes) == 2 {
-		return interp.NewBicubic(l.Grid.Axes[0].Values(), l.Grid.Axes[1].Values(), l.Data)
-	}
 	axes := make([][]float64, len(l.Grid.Axes))
 	for i, a := range l.Grid.Axes {
 		axes[i] = a.Values()
 	}
-	return interp.NewNDSpline(axes, l.Data)
+	return interp.Fit(axes, l.Data)
 }
 
 // InterpolatedObjective adapts an interpolated landscape into an optimizer
