@@ -25,6 +25,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/landscape"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/qpu"
 )
@@ -137,6 +138,65 @@ func BenchmarkFleetAdaptive(b *testing.B) {
 			b.ReportMetric(mean, "makespan_s")
 		})
 	}
+}
+
+// BenchmarkFleetTracing pins the observability layer's cost on the fleet hot
+// path: the same 500-job adaptive schedule as BenchmarkFleetAdaptive, once
+// with a bare context (the nil-tracer fast path — must match the pre-tracing
+// baseline) and once with a root span riding the context so every plan,
+// batch, retry, and solve span is recorded.
+func BenchmarkFleetTracing(b *testing.B) {
+	rng := rand.New(rand.NewSource(91))
+	p, err := problem.Random3RegularMaxCut(16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := backend.NewAnalyticQAOA(p, noise.Fig4())
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := QAOAGrid(1, 50, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := core.SampleGrid(grid, 0.10, 7, false) // 500 jobs
+	if err != nil {
+		b.Fatal(err)
+	}
+	devices := []qpu.Device{
+		{Name: "hiq", Eval: ev, Latency: qpu.LatencyModel{QueueMedian: 120, Sigma: 0.5, Exec: 1}},
+		{Name: "mid", Eval: ev, Latency: qpu.LatencyModel{QueueMedian: 30, Sigma: 0.5, Exec: 5}},
+		{Name: "slow", Eval: ev, Latency: qpu.LatencyModel{QueueMedian: 10, Sigma: 0.5, Exec: 12}},
+	}
+	run := func(b *testing.B, ctx context.Context) {
+		b.Helper()
+		s, err := fleet.New(fleet.Options{Seed: 1}, devices...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(ctx, grid, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, context.Background())
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		var spans float64
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTracer("bench")
+			root := tr.Start("job")
+			run(b, obs.ContextWithSpan(context.Background(), root))
+			root.End()
+			spans = float64(tr.Len())
+			if tr.Dropped() > 0 {
+				b.Fatalf("%d spans dropped under the default cap", tr.Dropped())
+			}
+		}
+		b.ReportMetric(spans, "spans")
+	})
 }
 
 // benchLandscape builds a deterministic 16-qubit noisy QAOA landscape for

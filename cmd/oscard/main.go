@@ -6,6 +6,9 @@
 // injected fault scenarios (drift, dropouts, correlated queue spikes and
 // retry storms) with risk-aware scheduling — retries, quarantine events,
 // and learned tail estimates surface through /jobs, /stats, and /metrics.
+// Every job carries a trace: GET /jobs/{id}/trace returns the span tree
+// (or Chrome trace-event JSON with ?format=chrome), and log lines are
+// structured key=value pairs carrying trace_id and job_id throughout.
 // Every finished reconstruction publishes its landscape into a
 // content-addressed artifact store served at /landscapes — with -artifact-dir
 // the artifacts persist on disk and survive restarts. On shutdown
@@ -17,6 +20,9 @@
 //	oscard -addr :8080 -jobs 8 -cache-file /var/lib/oscard/cache.gob \
 //	       -artifact-dir /var/lib/oscard/landscapes
 //
+// With -debug-addr a second listener serves net/http/pprof and /debug/vars
+// off the public mux, so profiling endpoints never leak through -addr.
+//
 // See the README's "Running as a service" section for the job JSON schema
 // and examples/service-client for a submit-and-poll client.
 package main
@@ -24,9 +30,11 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +46,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and /debug/vars here (empty = disabled)")
 		jobs       = flag.Int("jobs", 8, "max concurrent reconstruction jobs")
 		jobWorkers = flag.Int("job-workers", 0, "engine+solver workers per job (0 = GOMAXPROCS)")
 		maxGrid    = flag.Int("max-grid", 1<<20, "max grid points per job")
@@ -46,35 +55,46 @@ func main() {
 		cacheFile  = flag.String("cache-file", "", "spill caches here on shutdown and warm-start from it")
 		artDir     = flag.String("artifact-dir", "", "persist published landscape artifacts here (empty = in-memory only)")
 		artLRU     = flag.Int("artifact-lru", 32, "fitted interpolators kept hot for /landscapes queries")
+		noTrace    = flag.Bool("no-trace", false, "disable per-job tracing and stage histograms")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		spillEvery = flag.Duration("cache-spill-interval", 0,
 			"also spill caches to -cache-file on this interval (0 = only on shutdown), so a crash loses at most one interval of memoized executions")
 		drain = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		level = slog.LevelInfo
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	srv := service.New(service.Config{
-		MaxConcurrent: *jobs,
-		JobWorkers:    *jobWorkers,
-		MaxGridPoints: *maxGrid,
-		MaxQubits:     *maxQubits,
-		Quantum:       *quantum,
-		ArtifactDir:   *artDir,
-		ArtifactLRU:   *artLRU,
+		MaxConcurrent:  *jobs,
+		JobWorkers:     *jobWorkers,
+		MaxGridPoints:  *maxGrid,
+		MaxQubits:      *maxQubits,
+		Quantum:        *quantum,
+		ArtifactDir:    *artDir,
+		ArtifactLRU:    *artLRU,
+		Logger:         logger,
+		DisableTracing: *noTrace,
 	})
 	if *artDir != "" {
 		n, loadErrs, dirErr := srv.ArtifactInfo()
 		switch {
 		case dirErr != "":
-			log.Printf("oscard: artifact dir unusable (serving memory-only): %s", dirErr)
+			logger.Warn("artifact dir unusable, serving memory-only", "dir", *artDir, "error", dirErr)
 		case n > 0 || loadErrs > 0:
-			log.Printf("oscard: serving %d landscape artifacts from %s (%d unreadable skipped)", n, *artDir, loadErrs)
+			logger.Info("serving landscape artifacts from disk", "dir", *artDir, "artifacts", n, "unreadable_skipped", loadErrs)
 		}
 	}
 	if *cacheFile != "" {
 		if err := srv.LoadCacheFile(*cacheFile); err != nil {
-			log.Printf("oscard: cache warm-start failed (continuing cold): %v", err)
+			logger.Warn("cache warm-start failed, continuing cold", "file", *cacheFile, "error", err.Error())
 		} else if n := srv.CacheEntries(); n > 0 {
-			log.Printf("oscard: warm-started %d cached executions from %s", n, *cacheFile)
+			logger.Info("warm-started execution cache", "file", *cacheFile, "entries", n)
 		}
 	}
 
@@ -93,9 +113,9 @@ func main() {
 				select {
 				case <-t.C:
 					if err := srv.SaveCacheFile(*cacheFile); err != nil {
-						log.Printf("oscard: periodic cache spill failed: %v", err)
+						logger.Warn("periodic cache spill failed", "file", *cacheFile, "error", err.Error())
 					} else {
-						log.Printf("oscard: spilled %d cached executions to %s", srv.CacheEntries(), *cacheFile)
+						logger.Info("spilled execution cache", "file", *cacheFile, "entries", srv.CacheEntries())
 					}
 				case <-stopSpill:
 					return
@@ -104,10 +124,30 @@ func main() {
 		}()
 	}
 
+	// Debug listener: pprof and expvar live on their own address so the
+	// public API surface stays free of profiling endpoints.
+	var dbg *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		dbg = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug listener failed", "error", err.Error())
+			}
+		}()
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("oscard: listening on %s (max %d concurrent jobs)", *addr, *jobs)
+		logger.Info("listening", "addr", *addr, "max_jobs", *jobs)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -115,9 +155,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("oscard: %v", err)
+		logger.Error("server failed", "error", err.Error())
+		os.Exit(1)
 	case got := <-sig:
-		log.Printf("oscard: %v, shutting down", got)
+		logger.Info("shutting down", "signal", got.String())
 	}
 	close(stopSpill)
 	if spillDone != nil {
@@ -131,16 +172,19 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("oscard: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err.Error())
+	}
+	if dbg != nil {
+		_ = dbg.Shutdown(ctx)
 	}
 	srv.Drain(*drain)
 
 	if *cacheFile != "" {
 		if err := srv.SaveCacheFile(*cacheFile); err != nil {
-			log.Printf("oscard: cache spill failed: %v", err)
+			logger.Warn("cache spill failed", "file", *cacheFile, "error", err.Error())
 		} else {
-			log.Printf("oscard: spilled %d cached executions to %s", srv.CacheEntries(), *cacheFile)
+			logger.Info("spilled execution cache", "file", *cacheFile, "entries", srv.CacheEntries())
 		}
 	}
-	log.Print("oscard: bye")
+	logger.Info("bye")
 }

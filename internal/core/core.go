@@ -25,6 +25,7 @@ import (
 	"repro/internal/cs"
 	"repro/internal/exec"
 	"repro/internal/landscape"
+	"repro/internal/obs"
 )
 
 // Options configures a reconstruction run.
@@ -122,7 +123,11 @@ func ReconstructBatch(ctx context.Context, g *landscape.Grid, be exec.BatchEvalu
 		m = 1
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
+	sspan, _ := obs.Start(ctx, "core.sample")
 	idx, err := sampleIndices(rng, g, m, opt.Stratified)
+	sspan.SetAttr("samples", len(idx))
+	sspan.SetAttr("grid_points", total)
+	sspan.End()
 	if err != nil {
 		return nil, nil, err
 	}

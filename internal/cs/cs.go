@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/dct"
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // Method selects the sparse-recovery algorithm.
@@ -208,14 +209,29 @@ func ReconstructNDContext(ctx context.Context, dims []int, idx []int, y []float6
 		return nil, fmt.Errorf("cs: warm start has %d coefficients, want %d", len(opt.Warm), n)
 	}
 	op := newPartialDCT(dims, idx, opt.Workers)
+	span, ctx := obs.Start(ctx, "cs.solve")
+	defer span.End()
+	span.SetAttr("samples", len(idx))
+	span.SetAttr("points", n)
+	span.SetAttr("method", opt.Method.String())
+	var res *Result
+	var err error
 	switch opt.Method {
 	case FISTA, ISTA:
-		return solveProx(ctx, op, y, opt)
+		res, err = solveProx(ctx, op, y, opt)
 	case OMP:
-		return solveOMP(ctx, op, y, opt)
+		res, err = solveOMP(ctx, op, y, opt)
 	default:
 		return nil, fmt.Errorf("cs: unknown method %v", opt.Method)
 	}
+	if err != nil {
+		span.SetError(err)
+		return nil, err
+	}
+	span.SetAttr("iterations", res.Iterations)
+	span.SetAttr("residual", res.Residual)
+	span.SetAttr("sparsity", res.Sparsity)
+	return res, nil
 }
 
 // Reconstruct2D recovers a rows×cols landscape from values y observed at the

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/backend"
+	"repro/internal/obs"
 )
 
 // BatchEvaluator computes costs for a batch of parameter vectors. The
@@ -132,12 +133,17 @@ func (e *Engine) EvaluateBatch(ctx context.Context, params [][]float64) ([]float
 	if n == 0 {
 		return results, nil
 	}
+	span, ctx := obs.Start(ctx, "exec.batch")
+	defer span.End()
+	span.SetAttr("points", n)
 
 	c := e.opts.Cache
 	if c == nil {
 		// No cache: results is index-aligned with params, so the pool
 		// writes into it directly.
+		span.SetAttr("executed", n)
 		if err := e.run(ctx, params, results); err != nil {
+			span.SetError(err)
 			return nil, err
 		}
 		return results, nil
@@ -183,12 +189,15 @@ func (e *Engine) EvaluateBatch(ctx context.Context, params [][]float64) ([]float
 		workKeys = append(workKeys, k)
 		workOK = append(workOK, true)
 	}
+	span.SetAttr("cache_hits", n-len(work))
+	span.SetAttr("executed", len(work))
 	if len(work) == 0 {
 		return results, nil
 	}
 
 	values := make([]float64, len(work))
 	if err := e.run(ctx, work, values); err != nil {
+		span.SetError(err)
 		return nil, err
 	}
 	for j, v := range values {

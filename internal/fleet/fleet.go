@@ -475,13 +475,23 @@ type group struct {
 	quar    []bool
 }
 
+// retryEvent records one failed dispatch during planning: the device that
+// failed and the virtual time the failure was observed. Traced as
+// instantaneous markers so a span tree shows where a plan lost time.
+type retryEvent struct {
+	dev  int
+	time float64
+}
+
 // planOutcome is everything the virtual-time scheduling pass produces.
 type planOutcome struct {
-	groups   []group
-	serial   float64
-	makespan float64
-	retries  int
-	events   []QuarantineEvent
+	groups      []group
+	serial      float64
+	makespan    float64
+	retries     int
+	retryEvents []retryEvent
+	events      []QuarantineEvent
+	cacheHits   int
 }
 
 // plan runs the virtual-time scheduling simulation: cache probe, adaptive
@@ -531,6 +541,7 @@ func (s *Scheduler) plan(g *landscape.Grid, indices []int, cache *exec.Cache) (*
 			}
 		}
 		if len(hitIdx) > 0 {
+			out.cacheHits = len(hitIdx)
 			out.groups = append(out.groups, group{
 				BatchGroup: qpu.BatchGroup{Device: -1, Size: len(hitIdx)},
 				indices:    hitIdx,
@@ -591,6 +602,7 @@ func (s *Scheduler) plan(g *landscape.Grid, indices []int, cache *exec.Cache) (*
 						return nil, fmt.Errorf("fleet: batch of %d jobs failed %d times in a row", k, budget)
 					}
 					out.retries++
+					out.retryEvents = append(out.retryEvents, retryEvent{dev: dev, time: done})
 					exclude = dev
 					avail = done
 					continue
@@ -599,6 +611,7 @@ func (s *Scheduler) plan(g *landscape.Grid, indices []int, cache *exec.Cache) (*
 					return nil, fmt.Errorf("fleet: batch of %d jobs failed %d times in a row", k, budget)
 				}
 				out.retries++
+				out.retryEvents = append(out.retryEvents, retryEvent{dev: dev, time: done})
 				if st.quarantined {
 					// A failed probe schedules the next one a fixed backoff
 					// out. Probes are cheap — one MinBatch dispatch on the

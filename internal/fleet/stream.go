@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/landscape"
+	"repro/internal/obs"
 	"repro/internal/qpu"
 )
 
@@ -65,7 +66,7 @@ func (s *Scheduler) Run(ctx context.Context, g *landscape.Grid, indices []int) (
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	plan, err := s.plan(g, indices, s.opt.Cache)
+	plan, err := s.tracePlan(ctx, g, indices, s.opt.Cache)
 	if err != nil {
 		return nil, err
 	}
@@ -93,11 +94,16 @@ func (s *Scheduler) ReconstructStream(ctx context.Context, g *landscape.Grid, op
 	if cache == nil {
 		cache = opt.Cache
 	}
+	sspan, _ := obs.Start(ctx, "fleet.sample")
 	indices, err := core.SampleGrid(g, opt.SamplingFraction, opt.Seed, opt.Stratified)
+	sspan.SetAttr("samples", len(indices))
+	sspan.SetAttr("grid_points", g.Size())
+	sspan.SetError(err)
+	sspan.End()
 	if err != nil {
 		return nil, err
 	}
-	plan, err := s.plan(g, indices, cache)
+	plan, err := s.tracePlan(ctx, g, indices, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +178,13 @@ func (s *Scheduler) ReconstructStream(ctx context.Context, g *landscape.Grid, op
 			crossed = true
 		}
 		if crossed && fed < total { // the final solve covers fed == total
-			_, st, err := inc.Reconstruct(ctx)
+			vspan, vctx := obs.Start(ctx, "fleet.solve")
+			vspan.SetAttr("samples", fed)
+			vspan.SetAttr("coverage", cov)
+			vspan.SetAttr("interim", true)
+			_, st, err := inc.Reconstruct(vctx)
+			vspan.SetError(err)
+			vspan.End()
 			if err != nil {
 				return err
 			}
@@ -193,7 +205,12 @@ func (s *Scheduler) ReconstructStream(ctx context.Context, g *landscape.Grid, op
 		return nil, err
 	}
 
-	recon, stats, err := inc.Reconstruct(ctx)
+	fspan, fctx := obs.Start(ctx, "fleet.solve")
+	fspan.SetAttr("samples", fed)
+	fspan.SetAttr("coverage", 1.0)
+	recon, stats, err := inc.Reconstruct(fctx)
+	fspan.SetError(err)
+	fspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +225,47 @@ func (s *Scheduler) ReconstructStream(ctx context.Context, g *landscape.Grid, op
 	res.BatchSizes = s.sizesSnapshot()
 	res.DeviceStates = s.States()
 	return res, nil
+}
+
+// tracePlan runs the virtual-time planning pass under a "fleet.plan" span,
+// attaching the plan's cache-probe hit, every retry, and every quarantine
+// transition as instantaneous virtual-time markers — the trace shows where
+// the plan lost (or saved) virtual seconds even though planning itself is a
+// single wall-clock pass.
+func (s *Scheduler) tracePlan(ctx context.Context, g *landscape.Grid, indices []int, cache *exec.Cache) (*planOutcome, error) {
+	span, _ := obs.Start(ctx, "fleet.plan")
+	plan, err := s.plan(g, indices, cache)
+	if err != nil {
+		span.SetError(err)
+		span.End()
+		return nil, err
+	}
+	span.SetAttr("jobs", len(indices))
+	span.SetAttr("batches", len(plan.groups))
+	span.SetAttr("retries", plan.retries)
+	span.SetAttr("makespan_s", plan.makespan)
+	span.SetVirtual(0, plan.makespan)
+	if plan.cacheHits > 0 {
+		m := span.Child("fleet.cache_probe")
+		m.SetAttr("hits", plan.cacheHits)
+		m.SetVirtual(0, 0)
+		m.End()
+	}
+	for _, re := range plan.retryEvents {
+		m := span.Child("fleet.retry")
+		m.SetAttr("device", s.devices[re.dev].Name)
+		m.SetVirtual(re.time, re.time)
+		m.End()
+	}
+	for _, qe := range plan.events {
+		m := span.Child("fleet.quarantine")
+		m.SetAttr("device", qe.Name)
+		m.SetAttr("reason", qe.Reason)
+		m.SetVirtual(qe.Time, qe.Time)
+		m.End()
+	}
+	span.End()
+	return plan, nil
 }
 
 func (s *Scheduler) sizesSnapshot() []int {
@@ -257,7 +315,21 @@ func (s *Scheduler) evaluate(ctx context.Context, g *landscape.Grid, groups []gr
 				errs[i] = cctx.Err()
 				return
 			}
-			vals, err := evals[gr.Device].EvaluateBatch(cctx, g.Points(gr.indices))
+			bspan, bctx := obs.Start(cctx, "fleet.batch")
+			bspan.SetAttr("device", s.devices[gr.Device].Name)
+			bspan.SetAttr("size", gr.Size)
+			bspan.SetVirtual(gr.Start, gr.Done)
+			if qs := bspan.Child("queue"); qs != nil {
+				qs.SetVirtual(gr.Start, gr.Start+gr.Queue)
+				qs.End()
+			}
+			if xs := bspan.Child("exec"); xs != nil {
+				xs.SetVirtual(gr.Start+gr.Queue, gr.Done)
+				xs.End()
+			}
+			vals, err := evals[gr.Device].EvaluateBatch(bctx, g.Points(gr.indices))
+			bspan.SetError(err)
+			bspan.End()
 			if err != nil {
 				errs[i] = fmt.Errorf("fleet: device %q failed: %w", s.devices[gr.Device].Name, err)
 				cancel()

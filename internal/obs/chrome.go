@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" metadata), loadable in about:tracing and Perfetto.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the object form of a Chrome trace file.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	chromeWallPID    = 1
+	chromeVirtualPID = 2
+)
+
+// chromeSlice is one renderable interval before lane assignment.
+type chromeSlice struct {
+	name    string
+	ts, dur float64 // microseconds
+	args    map[string]any
+}
+
+// ChromeEvents converts a snapshot into Chrome trace events. Wall-clock
+// spans render under pid 1 with ts relative to the earliest span; spans
+// carrying virtual time additionally render under pid 2 with ts in virtual
+// microseconds (1 virtual second = 1e6 ts units). Overlapping slices within
+// a process are spread across tids greedily so parallel work stays legible.
+func ChromeEvents(tree *TraceTree) *ChromeTrace {
+	out := &ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{
+		{Name: "process_name", Ph: "M", PID: chromeWallPID, TID: 0,
+			Args: map[string]any{"name": "wall clock"}},
+		{Name: "process_name", Ph: "M", PID: chromeVirtualPID, TID: 0,
+			Args: map[string]any{"name": "virtual time (1s = 1e6us)"}},
+	}}
+	if tree == nil {
+		return out
+	}
+	var walls, virts []chromeSlice
+	var t0 time.Time
+	var walk func(n *SpanNode)
+	collect := func(n *SpanNode) {
+		args := map[string]any{"span_id": n.ID}
+		for k, v := range n.Attrs {
+			args[k] = v
+		}
+		if n.Open {
+			args["open"] = true
+		}
+		walls = append(walls, chromeSlice{
+			name: n.Name,
+			ts:   float64(n.Start.Sub(t0)) / float64(time.Microsecond),
+			dur:  float64(n.End.Sub(n.Start)) / float64(time.Microsecond),
+			args: args,
+		})
+		if n.VStart != nil && n.VEnd != nil {
+			virts = append(virts, chromeSlice{
+				name: n.Name,
+				ts:   *n.VStart * 1e6,
+				dur:  (*n.VEnd - *n.VStart) * 1e6,
+				args: args,
+			})
+		}
+	}
+	walk = func(n *SpanNode) {
+		collect(n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	// The earliest span start anchors ts 0.
+	var scan func(n *SpanNode)
+	scan = func(n *SpanNode) {
+		if t0.IsZero() || n.Start.Before(t0) {
+			t0 = n.Start
+		}
+		for _, c := range n.Children {
+			scan(c)
+		}
+	}
+	for _, n := range tree.Spans {
+		scan(n)
+	}
+	for _, n := range tree.Spans {
+		walk(n)
+	}
+	for _, ev := range assignLanes(walls, chromeWallPID) {
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	for _, ev := range assignLanes(virts, chromeVirtualPID) {
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	return out
+}
+
+// assignLanes spreads possibly-overlapping slices across tids: each slice
+// takes the lowest lane whose previous slice has ended, so a lane renders a
+// clean nesting-free timeline. Ties keep input order for determinism.
+func assignLanes(slices []chromeSlice, pid int) []ChromeEvent {
+	idx := make([]int, len(slices))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := slices[idx[a]], slices[idx[b]]
+		if sa.ts != sb.ts {
+			return sa.ts < sb.ts
+		}
+		// Longer slices first so a parent occupies a lower lane than the
+		// children it encloses.
+		return sa.dur > sb.dur
+	})
+	var laneEnd []float64
+	events := make([]ChromeEvent, 0, len(slices))
+	for _, i := range idx {
+		s := slices[i]
+		lane := -1
+		for l, end := range laneEnd {
+			if s.ts >= end {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = s.ts + s.dur
+		events = append(events, ChromeEvent{
+			Name: s.name, Ph: "X", TS: s.ts, Dur: s.dur,
+			PID: pid, TID: lane + 1, Args: s.args,
+		})
+	}
+	return events
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/exec"
 	"repro/internal/landscape"
+	"repro/internal/obs"
 )
 
 // LatencyModel describes one device's per-job latency: a lognormal queue
@@ -350,6 +351,11 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 			batchSize = 1
 		}
 	}
+	span, ctx := obs.Start(ctx, "qpu.run")
+	defer span.End()
+	span.SetAttr("jobs", len(indices))
+	span.SetAttr("devices", len(e.devices))
+	span.SetAttr("batch_size", batchSize)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	rng, serialRng := e.rng, e.serialRng
@@ -378,9 +384,10 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 		batch := indices[lo:hi]
 		serial += SerialBaseline(ref, serialRng, len(batch))
 		var (
-			done    float64
-			dev     int
-			exclude = -1
+			done           float64
+			dev            int
+			exclude        = -1
+			bstart, bq, bx float64
 		)
 		for attempt := 0; ; attempt++ {
 			dev = -1
@@ -401,17 +408,36 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 					return nil, fmt.Errorf("qpu: batch [%d,%d) failed %d times in a row", lo, hi, budget)
 				}
 				retries++
+				m := span.Child("qpu.retry")
+				m.SetAttr("device", e.devices[dev].Name)
+				m.SetVirtual(free[dev], free[dev])
+				m.End()
 				exclude = dev
 				continue
 			}
 			done = free[dev]
+			bstart, bq, bx = start, queue, execT
 			batches = append(batches, BatchGroup{
 				Device: dev, Size: len(batch), Queue: queue, Exec: execT,
 				Start: start, Done: done,
 			})
 			break
 		}
+		bspan := span.Child("qpu.batch")
+		bspan.SetAttr("device", e.devices[dev].Name)
+		bspan.SetAttr("size", len(batch))
+		bspan.SetVirtual(bstart, done)
+		if qs := bspan.Child("queue"); qs != nil {
+			qs.SetVirtual(bstart, bstart+bq)
+			qs.End()
+		}
+		if xs := bspan.Child("exec"); xs != nil {
+			xs.SetVirtual(bstart+bq, bstart+bq+bx)
+			xs.End()
+		}
 		values, err := evals[dev].EvaluateBatch(ctx, g.Points(batch))
+		bspan.SetError(err)
+		bspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("qpu: device %q failed: %w", e.devices[dev].Name, err)
 		}
@@ -428,6 +454,9 @@ func (e *Executor) RunBatched(ctx context.Context, g *landscape.Grid, indices []
 			makespan = f
 		}
 	}
+	span.SetAttr("retries", retries)
+	span.SetAttr("makespan_s", makespan)
+	span.SetVirtual(0, makespan)
 	return &RunReport{
 		Results:    results,
 		Batches:    batches,

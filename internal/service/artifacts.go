@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/landscape"
+	"repro/internal/obs"
 )
 
 // artifactExt names artifact files in the store directory: <id>.landscape.
@@ -284,17 +285,47 @@ func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
 
 // handleArtifactGrid returns the full grid data of one artifact — the dense
 // reconstructed landscape a client can plot or post-process. Metadata rides
-// along so the response is self-describing.
+// along so the response is self-describing. Artifact ids are content
+// addresses, so the id doubles as a strong ETag: a client re-fetching an
+// unchanged grid gets 304 Not Modified and skips the (potentially large)
+// data payload entirely.
 func (s *Server) handleArtifactGrid(w http.ResponseWriter, r *http.Request) {
 	a, ok := s.artifacts.get(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown landscape"})
 		return
 	}
+	etag := `"` + a.ID() + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"meta": artifactView(a),
 		"data": jsonFloats(a.Data),
 	})
+}
+
+// etagMatch reports whether an If-None-Match header value matches the given
+// strong ETag: "*" matches anything, otherwise each comma-separated
+// candidate is compared after stripping any weak-validator prefix (weak
+// comparison — RFC 9110 §8.8.3.2 — is the correct mode for If-None-Match).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" {
+			return true
+		}
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // queryRequest is the body of POST /landscapes/{id}/query: a batch of
@@ -315,6 +346,10 @@ type queryResponse struct {
 	Count     int          `json:"count"`
 	Values    jsonFloats   `json:"values"`
 	Gradients []jsonFloats `json:"gradients,omitempty"`
+	// Trace is the request's span tree, returned inline when the query was
+	// made with ?trace=1 (query traces are per-request and not stored
+	// server-side, unlike job traces).
+	Trace *obs.TraceTree `json:"trace,omitempty"`
 }
 
 // handleArtifactQuery evaluates a batch of points on an artifact's fitted
@@ -358,14 +393,29 @@ func (s *Server) handleArtifactQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// Surrogate queries get a per-request trace: it feeds the stage
+	// histograms always, and rides back inline on ?trace=1. The tracer is
+	// request-scoped and never stored server-side.
+	tr := s.newTracer()
+	root := tr.Start("query")
+	root.SetAttr("points", len(req.Points))
+	root.SetAttr("gradients", req.Gradients)
+	fspan := root.Child("query.fit")
 	ip, err := s.artifacts.interpolator(a.ID())
+	fspan.SetError(err)
+	fspan.End()
 	if err != nil {
+		root.End()
 		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": "fitting surrogate: " + err.Error()})
 		return
 	}
 	resp := queryResponse{ID: a.ID(), Count: len(req.Points)}
+	espan := root.Child("query.eval")
 	values := make([]float64, len(req.Points))
 	if err := ip.AtPoints(values, req.Points); err != nil {
+		espan.SetError(err)
+		espan.End()
+		root.End()
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "query: " + err.Error()})
 		return
 	}
@@ -377,6 +427,9 @@ func (s *Server) handleArtifactQuery(w http.ResponseWriter, r *http.Request) {
 			grads[i] = backing[i*arity : (i+1)*arity : (i+1)*arity]
 		}
 		if err := ip.GradientAtPoints(grads, req.Points); err != nil {
+			espan.SetError(err)
+			espan.End()
+			root.End()
 			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "query: " + err.Error()})
 			return
 		}
@@ -385,7 +438,12 @@ func (s *Server) handleArtifactQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Gradients[i] = g
 		}
 	}
+	espan.End()
+	root.End()
 	s.artifacts.queryPoints.Add(int64(len(req.Points)))
+	if r.URL.Query().Get("trace") == "1" {
+		resp.Trace = tr.Snapshot()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fleet"
 	"repro/internal/landscape"
+	"repro/internal/obs"
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -54,6 +55,11 @@ type Job struct {
 	// its per-device learned state (tail estimates, quarantine flags)
 	// mid-run. Cleared when the job finishes.
 	fleet *fleet.Scheduler
+
+	// trace collects the job's spans (nil with tracing disabled); root is
+	// its top-level "job" span, open from submission until finishJob.
+	trace *obs.Tracer
+	root  *obs.Span
 }
 
 // FleetProgress is the progressive partial-result view of a running fleet
@@ -176,10 +182,14 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	// the server's base context for the process lifetime. CancelFuncs are
 	// idempotent, so a later DELETE on the finished job stays safe.
 	defer j.cancel()
+	qspan, _ := obs.Start(ctx, "queue")
 	select {
 	case s.sem <- struct{}{}:
+		qspan.End()
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		qspan.SetError(ctx.Err())
+		qspan.End()
 		s.finishJob(j, nil, ctx.Err())
 		return
 	}
@@ -189,7 +199,10 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		j.started = time.Now()
 	}
 	s.mu.Unlock()
+	rspan, ctx := obs.Start(ctx, "run")
 	res, err := s.execute(ctx, j)
+	rspan.SetError(err)
+	rspan.End()
 	s.finishJob(j, res, err)
 }
 
@@ -216,7 +229,7 @@ func (s *Server) execute(ctx context.Context, j *Job) (res *JobResult, err error
 	if err != nil {
 		return nil, err
 	}
-	return s.buildResult(j, recon, stats, h0, m0), nil
+	return s.buildResult(ctx, j, recon, stats, h0, m0), nil
 }
 
 // executeFleet runs a fleet-mode job: sampling dispatched across the virtual
@@ -272,7 +285,7 @@ func (s *Server) executeFleet(ctx context.Context, j *Job, opt core.Options, h0,
 	}
 	s.fleetRetries.Add(int64(sres.Report.Retries))
 	s.fleetQuarantines.Add(int64(len(sres.Quarantines)))
-	res := s.buildResult(j, sres.Landscape, sres.Stats, h0, m0)
+	res := s.buildResult(ctx, j, sres.Landscape, sres.Stats, h0, m0)
 	sizes := make(map[string]int, len(names))
 	for i, b := range sres.BatchSizes {
 		if i < len(names) {
@@ -330,7 +343,7 @@ func (s *Server) executeFleet(ctx context.Context, j *Job, opt core.Options, h0,
 	return res, nil
 }
 
-func (s *Server) buildResult(j *Job, recon *landscape.Landscape, stats *core.Stats, h0, m0 int64) *JobResult {
+func (s *Server) buildResult(ctx context.Context, j *Job, recon *landscape.Landscape, stats *core.Stats, h0, m0 int64) *JobResult {
 	res := &JobResult{
 		GridSize:         stats.GridSize,
 		Samples:          stats.Samples,
@@ -371,7 +384,11 @@ func (s *Server) buildResult(j *Job, recon *landscape.Landscape, stats *core.Sta
 		Sparsity:         stats.Sparsity,
 	}
 	art.CreatedAt = time.Now()
+	pspan, _ := obs.Start(ctx, "publish")
 	id, err := s.artifacts.publish(art)
+	pspan.SetAttr("artifact_id", id)
+	pspan.SetError(err)
+	pspan.End()
 	if err != nil {
 		s.artifacts.publishErrors.Add(1)
 	}
@@ -388,11 +405,13 @@ func solverMethodName(ss *SolverSpec) string {
 	return strings.ToLower(ss.Method)
 }
 
-// finishJob records a job outcome exactly once.
+// finishJob records a job outcome exactly once, closes the job's root span
+// (open stage spans below it stay serializable: snapshots render them with a
+// provisional end), and emits the structured completion line.
 func (s *Server) finishJob(j *Job, res *JobResult, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		s.mu.Unlock()
 		return
 	}
 	j.finished = time.Now()
@@ -424,6 +443,32 @@ func (s *Server) finishJob(j *Job, res *JobResult, err error) {
 		}
 	}
 	close(j.done)
+	state, errMsg := j.state, j.errMsg
+	queueMS, runMS := j.view(j.finished).QueueMS, j.view(j.finished).RunMS
+	s.mu.Unlock()
+
+	// The job is final past this point: no other goroutine writes its trace
+	// again, so ending the root and draining the drop counter race nothing.
+	j.root.SetAttr("state", string(state))
+	if errMsg != "" {
+		j.root.SetAttr("error", errMsg)
+	}
+	j.root.End()
+	if d := j.trace.Dropped(); d > 0 {
+		s.droppedSpans.Add(d)
+	}
+	attrs := []any{
+		"trace_id", j.trace.ID(), "job_id", j.id, "state", string(state),
+		"queue_ms", queueMS, "run_ms", runMS,
+	}
+	if errMsg != "" {
+		attrs = append(attrs, "error", errMsg)
+	}
+	if state == StateDone {
+		s.log.Info("job finished", attrs...)
+	} else {
+		s.log.Warn("job finished", attrs...)
+	}
 }
 
 // jobJSON is the wire form of a job.

@@ -60,6 +60,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -70,6 +71,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // Config bounds the server.
@@ -103,6 +105,16 @@ type Config struct {
 	ArtifactLRU int
 	// MaxQueryPoints bounds one /landscapes query batch. Default 1<<16.
 	MaxQueryPoints int
+	// Logger receives the server's structured log lines (every one carries
+	// trace_id/job_id where applicable). Nil uses slog.Default().
+	Logger *slog.Logger
+	// DisableTracing turns off per-job tracing entirely: jobs run with a
+	// nil tracer (the zero-cost fast path) and GET /jobs/{id}/trace answers
+	// 404.
+	DisableTracing bool
+	// MaxTraceSpans caps recorded spans per job trace; starts beyond it are
+	// counted as dropped, not recorded. 0 = obs.DefaultMaxSpans.
+	MaxTraceSpans int
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +145,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueryPoints <= 0 {
 		c.MaxQueryPoints = 1 << 16
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -157,12 +172,20 @@ type Server struct {
 	// reconstructions publish into it and /landscapes serves out of it.
 	artifacts *artifactStore
 
+	// log is the structured logger; metrics holds the per-stage latency
+	// histograms fed by span completions (the tracer OnEnd hook).
+	log     *slog.Logger
+	metrics *obs.Registry
+
 	panics atomic.Int64
 	// fleetRetries and fleetQuarantines accumulate over finished fleet
 	// jobs: failed dispatches that were retried or re-dispatched, and
 	// quarantine transitions (bench + re-admit).
 	fleetRetries     atomic.Int64
 	fleetQuarantines atomic.Int64
+	// droppedSpans accumulates span starts rejected by per-job caps, over
+	// finished jobs.
+	droppedSpans atomic.Int64
 }
 
 // New builds a server.
@@ -178,11 +201,14 @@ func New(cfg Config) *Server {
 		jobs:       make(map[string]*Job),
 		caches:     make(map[string]*exec.Cache),
 		artifacts:  newArtifactStore(cfg.ArtifactDir, cfg.ArtifactLRU, cfg.JobWorkers),
+		log:        cfg.Logger,
+		metrics:    obs.NewRegistry(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /landscapes", s.handleArtifactList)
 	mux.HandleFunc("GET /landscapes/{id}", s.handleArtifactGet)
@@ -256,13 +282,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "malformed job: " + err.Error()})
 		return
 	}
+	// The trace starts before validation so rejected submissions are
+	// measured too (their tracer is simply discarded with the request).
+	tr := s.newTracer()
+	root := tr.Start("job")
+	vspan := root.Child("validate")
 	built, err := buildJob(spec, s.cfg)
+	vspan.SetError(err)
+	vspan.End()
 	if err != nil {
+		root.End()
 		status := http.StatusBadRequest
 		var se *specError
 		if !errors.As(err, &se) {
 			status = http.StatusInternalServerError
 		}
+		s.log.Warn("job rejected", "trace_id", tr.ID(), "error", err.Error())
 		writeJSON(w, status, map[string]any{"error": err.Error()})
 		return
 	}
@@ -274,6 +309,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		trace:     tr,
+		root:      root,
 	}
 	if built.cacheable {
 		j.cache = s.cacheFor(built.configKey)
@@ -292,6 +329,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		stop := context.AfterFunc(s.baseCtx, cancel)
 		defer stop()
 	}
+	// The root span rides the job context: every layer below picks it up
+	// via obs.Start and attaches its stage spans to this job's trace.
+	ctx = obs.ContextWithSpan(ctx, root)
 
 	s.mu.Lock()
 	s.seq++
@@ -300,6 +340,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.mu.Unlock()
+	root.SetAttr("job_id", j.id)
+	s.log.Info("job submitted",
+		"trace_id", tr.ID(), "job_id", j.id, "tag", j.tag,
+		"wait", spec.Wait, "fleet", built.fleetOpts != nil,
+		"grid_points", built.grid.Size())
 
 	s.wg.Add(1)
 	if !spec.Wait {
